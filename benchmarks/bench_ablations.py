@@ -1,0 +1,87 @@
+"""Ablations of the framework's design choices.
+
+Quantifies what each mechanism contributes, at campaign level:
+
+1. **WA burst injection** — the multi-instruction corruption episodes of
+   Section II.A vs single-victim replay,
+2. **microarchitectural masking** — the wrong-path/dead-write resolution
+   of Section II.E vs injecting blindly into architectural state,
+3. **DA injection window** — how the data-agnostic model's pessimism
+   scales with the #errors = window x ER count.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.circuit.liberty import VR20
+from repro.errors.da import DaModel
+from repro.uarch.masking import MaskingProfile
+
+
+@pytest.fixture(scope="module")
+def srad_runner(context):
+    return context.runners["srad_v1"]
+
+
+def test_ablation_burst_window(benchmark, context, srad_runner):
+    """Bursts make WA injection strictly more severe (or equal)."""
+    model = context.wa["srad_v1"]
+    original = model.burst_window
+
+    def run_both():
+        model.burst_window = 0
+        single = srad_runner.campaign(model, VR20, runs=150)
+        model.burst_window = original or 8
+        burst = srad_runner.campaign(model, VR20, runs=150)
+        return single, burst
+
+    single, burst = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    model.burst_window = original
+    print(f"\n  single-victim AVM: {single.avm:.1%}   "
+          f"burst AVM: {burst.avm:.1%}")
+    assert burst.avm >= single.avm - 0.05
+
+
+def test_ablation_uarch_masking(benchmark, context, srad_runner):
+    """Ignoring pipeline masking overstates vulnerability (Section II.E)."""
+    model = context.wa["srad_v1"]
+    golden = srad_runner.golden()
+    original = golden.masking
+
+    def run_both():
+        srad_runner._golden = dataclasses.replace(
+            golden, masking=MaskingProfile(0.0, 0.0)
+        )
+        blind = srad_runner.campaign(model, VR20, runs=150)
+        srad_runner._golden = dataclasses.replace(golden, masking=original)
+        aware = srad_runner.campaign(model, VR20, runs=150)
+        return blind, aware
+
+    blind, aware = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    srad_runner._golden = golden
+    print(f"\n  masking-blind AVM: {blind.avm:.1%}   "
+          f"masking-aware AVM: {aware.avm:.1%}")
+    assert blind.avm >= aware.avm
+
+
+def test_ablation_da_injection_window(benchmark, context):
+    """DA pessimism grows with the injection window (#errors = W x ER)."""
+    runner = context.runners["cg"]
+    base = context.da
+
+    def run_windows():
+        results = {}
+        for window in (128, 1024, 8192):
+            model = DaModel(base.fixed_error_ratios,
+                            injection_window=window)
+            results[window] = runner.campaign(model, VR20, runs=150)
+        return results
+
+    results = benchmark.pedantic(run_windows, rounds=1, iterations=1)
+    print()
+    for window, result in results.items():
+        print(f"  window {window:5d}: AVM {result.avm:.1%}")
+    avms = [results[w].avm for w in (128, 1024, 8192)]
+    assert avms[2] >= avms[0]

@@ -1,0 +1,21 @@
+"""Fig. 10 regeneration: injected error ratios and model divergence."""
+
+from repro.experiments import fig10_error_ratio
+
+
+def test_fig10_error_ratios(benchmark, context, campaigns):
+    result = benchmark.pedantic(
+        fig10_error_ratio.run, kwargs={"campaign_results": campaigns},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(fig10_error_ratio.render(result))
+    # Paper shapes: DA/IA diverge from WA by large average fold-changes
+    # (paper: ~250x / ~230x on its workload set); every model injects
+    # more at VR20 than VR15.
+    assert result.divergence["DA"] > 2.0
+    assert result.divergence["IA"] > 2.0
+    for benchmark_name in ("cg", "srad_v1", "mg"):
+        assert result.ratio(benchmark_name, "DA", "VR20") > (
+            result.ratio(benchmark_name, "DA", "VR15")
+        )

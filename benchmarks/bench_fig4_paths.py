@@ -1,0 +1,12 @@
+"""Fig. 4 regeneration: longest-path distribution across pipeline stages."""
+
+from repro.experiments import fig4_paths
+
+
+def test_fig4_longest_paths(benchmark):
+    result = benchmark(fig4_paths.run, k=1000)
+    print()
+    print(fig4_paths.render(result))
+    # Paper shape: only FPU paths among the 1000 longest.
+    assert result.fpu_fraction == 1.0
+    assert result.non_fpu_paths == 0

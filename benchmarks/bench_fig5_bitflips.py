@@ -1,0 +1,12 @@
+"""Fig. 5 regeneration: bit flips per faulty instruction output."""
+
+from repro.experiments import fig5_bitflips
+
+
+def test_fig5_bitflip_distribution(benchmark):
+    result = benchmark(fig5_bitflips.run, samples_per_op=60_000, seed=2021)
+    print()
+    print(fig5_bitflips.render(result))
+    # Paper shape: timing errors are predominantly multi-bit (64.5% avg).
+    assert result.average_multi_bit > 0.4
+    assert result.multi_bit_fraction["VR20"] > 0.4

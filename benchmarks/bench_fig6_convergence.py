@@ -1,0 +1,19 @@
+"""Fig. 6 regeneration: BER convergence with characterisation sample size."""
+
+from repro.experiments import fig6_convergence
+from repro.fpu.formats import FpOp
+
+
+def test_fig6_ber_convergence(benchmark, context):
+    profile = context.profiles["is"]
+    result = benchmark(
+        fig6_convergence.run,
+        profile=profile,
+        sample_sizes=(1_000, 10_000, 100_000),
+        op=FpOp.MUL_D,
+    )
+    print()
+    print(fig6_convergence.render(result))
+    errors = result.absolute_error
+    # Paper shape: AE falls as K grows; the largest K is near-exact.
+    assert errors[100_000] <= errors[1_000]

@@ -1,0 +1,16 @@
+"""Fig. 7 regeneration: IA-model bit error-injection probabilities."""
+
+from repro.experiments import fig7_ia
+from repro.fpu.formats import FpOp, OPS_SINGLE
+
+
+def test_fig7_ia_characterisation(benchmark, context):
+    result = benchmark(fig7_ia.run, model=context.ia)
+    print()
+    print(fig7_ia.render(result))
+    r15, r20 = result.error_ratios["VR15"], result.error_ratios["VR20"]
+    # Paper shapes: only mul/sub at VR15; mul tops VR20; SP error-free.
+    vr15_failing = {op for op, r in r15.items() if r > 0}
+    assert vr15_failing <= {FpOp.MUL_D, FpOp.SUB_D}
+    assert r20[FpOp.MUL_D] == max(r20.values())
+    assert all(r20[op] == 0.0 for op in OPS_SINGLE)

@@ -1,0 +1,18 @@
+"""Fig. 8 regeneration: WA-model per-bit BER per benchmark."""
+
+from repro.experiments import fig8_wa
+
+
+def test_fig8_wa_characterisation(benchmark, context):
+    result = benchmark(fig8_wa.run, context=context)
+    print()
+    print(fig8_wa.render(result))
+    # Paper shapes: hotspot error-free at VR15; workloads differ widely.
+    hotspot15 = sum(b.sum() for b in result.ber["hotspot"]["VR15"].values())
+    assert hotspot15 == 0.0
+    masses = {
+        name: sum(b.sum() for b in result.ber[name]["VR20"].values())
+        for name in result.ber
+    }
+    nonzero = [m for m in masses.values() if m > 0]
+    assert max(nonzero) > 10 * min(nonzero)

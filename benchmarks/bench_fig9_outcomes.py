@@ -1,0 +1,33 @@
+"""Fig. 9 regeneration: injection-outcome distributions."""
+
+from repro.experiments import fig9_outcomes
+
+
+def test_fig9_outcome_distributions(benchmark, context, campaigns):
+    runs_per_cell = campaigns[0].counts.total
+    result = benchmark.pedantic(
+        lambda: fig9_outcomes.Fig9Result(results=campaigns,
+                                         runs_per_cell=runs_per_cell),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(fig9_outcomes.render(result))
+    # Paper shapes: hotspot error-free at VR15 under WA, fully corrupted
+    # according to DA; k-means tolerant under IA/WA.
+    assert result.cell("hotspot", "WA", "VR15").avm == 0.0
+    assert result.cell("hotspot", "DA", "VR15").avm > 0.3
+    assert result.cell("kmeans", "WA", "VR15").avm <= 0.05
+    assert result.cell("kmeans", "IA", "VR15").avm <= 0.05
+
+
+def test_fig9_single_cell_cost(benchmark, context):
+    """Timing of one campaign cell (the unit the 44856-experiment total
+    of the paper is built from)."""
+    runner = context.runners["cg"]
+    model = context.wa["cg"]
+    point = context.points[1]
+    result = benchmark.pedantic(
+        runner.campaign, args=(model, point), kwargs={"runs": 40},
+        rounds=1, iterations=1,
+    )
+    assert result.counts.total == 40

@@ -1,0 +1,31 @@
+"""Section VI use-case: code-region vulnerability attribution.
+
+Not a paper figure — the conclusions' promised developer workflow
+("detect code regions that are vulnerable to timing errors"), exercised
+as a bench so its cost and output stay visible.
+"""
+
+from repro.campaign.regions import RegionAnalyzer, region_report_text
+from repro.circuit.liberty import VR20
+
+
+def test_region_vulnerability_map(benchmark, context):
+    runner = context.runners["srad_v1"]
+    model = context.wa["srad_v1"]
+    analyzer = RegionAnalyzer(runner, model, phases=4)
+
+    reports = benchmark.pedantic(
+        analyzer.analyze, args=(VR20,), kwargs={"runs_per_phase": 50},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(region_report_text("srad_v1", VR20, reports))
+    assert len(reports) == 4
+    assert sum(r.faulty_instructions for r in reports) == (
+        model.faulty_population(VR20)
+    )
+    # The map must discriminate: phases differ in fault density or AVM.
+    densities = [r.faulty_instructions for r in reports]
+    assert max(densities) > min(densities) or (
+        max(r.avm for r in reports) > min(r.avm for r in reports)
+    )

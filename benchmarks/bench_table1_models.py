@@ -1,0 +1,14 @@
+"""Table I regeneration: error-model feature overview."""
+
+from repro.experiments import table1_models
+
+
+def test_table1_feature_matrix(benchmark):
+    result = benchmark(table1_models.run)
+    print()
+    print(table1_models.render(result))
+    rows = {row["model"]: row for row in result.rows}
+    assert not rows["DA"]["instruction aware"]
+    assert rows["IA"]["instruction aware"] and not rows["IA"]["workload aware"]
+    assert rows["WA"]["workload aware"]
+    assert rows["WA"]["microarchitecture aware"]

@@ -1,0 +1,22 @@
+"""Table II regeneration: benchmark inputs, sizes, classification."""
+
+from repro.experiments import table2_benchmarks
+
+
+def test_table2_benchmarks(benchmark, context):
+    result = benchmark.pedantic(
+        table2_benchmarks.run, kwargs={"context": context},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table2_benchmarks.render(result))
+    assert len(result.rows) == 7
+    by_name = {row.name: row for row in result.rows}
+    # Paper shape: is is integer-dominated (largest non-FP expansion).
+    expansion = {
+        name: row.total_instructions / row.fp_instructions
+        for name, row in by_name.items()
+    }
+    assert max(expansion, key=expansion.get) == "is"
+    assert by_name["cg"].classification == "Verification checking"
+    assert by_name["sobel"].classification == "Image Output"

@@ -1,0 +1,32 @@
+"""Shared fixtures for the per-artifact benchmark harness.
+
+Each ``bench_*`` file regenerates one table/figure of the paper (see
+DESIGN.md's per-experiment index) and prints the paper-shaped series; the
+pytest-benchmark timings measure the regeneration cost itself.
+
+The shared context is built once per session at 'small' scale with
+reduced characterisation samples so the full harness completes in
+minutes; the experiment drivers accept larger scales for paper-grade
+regeneration (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.context import BENCHMARKS, ExperimentContext
+
+#: Campaign size used by the benches (the paper uses 1068; statistical
+#: shape is already stable at this size and the harness stays fast).
+BENCH_RUNS = 120
+
+
+@pytest.fixture(scope="session")
+def context():
+    return ExperimentContext.create(
+        scale="small", seed=2021, characterization_samples=40_000,
+        benchmarks=BENCHMARKS,
+    )
+
+
+@pytest.fixture(scope="session")
+def campaigns(context):
+    return context.run_campaigns(runs=BENCH_RUNS)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Compare the DA, IA and WA error models on one benchmark (Figs. 9/10).
+
+Reproduces the paper's central comparison in miniature: the same
+injection harness driven by the three models of Table I, showing how the
+data-agnostic and instruction-aware models mispredict both the error
+ratio and the outcome distribution relative to trace-exact
+workload-aware injection.
+
+Run:  python examples/model_comparison.py [benchmark]
+"""
+
+import sys
+
+from repro import (
+    CampaignRunner,
+    VR15,
+    VR20,
+    characterize_da,
+    characterize_ia,
+    characterize_wa,
+    make_workload,
+)
+from repro.campaign.report import error_ratio_table, feature_matrix, outcome_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "hotspot"
+    points = [VR15, VR20]
+
+    workload = make_workload(name, scale="small", seed=2021)
+    runner = CampaignRunner(workload, seed=2021)
+    profile = runner.golden().profile
+
+    print("== model development phase ==")
+    wa = characterize_wa(profile, points)
+    ia = characterize_ia(points, samples_per_op=40_000)
+    # DA's fixed ratio comes from instructions randomly extracted from the
+    # whole benchmark mix (Section IV.C.1), not just the target program.
+    mix_profiles = [profile]
+    for other in ("srad_v1", "kmeans", "cg"):
+        if other != name:
+            other_runner = CampaignRunner(
+                make_workload(other, scale="tiny", seed=2021), seed=2021
+            )
+            mix_profiles.append(other_runner.golden().profile)
+    da = characterize_da(mix_profiles, points, sample_per_point=40_000)
+    print(feature_matrix([da, ia, wa]))
+
+    print("\n== application evaluation phase (160 runs per cell) ==")
+    results = []
+    for model in (da, ia, wa):
+        for point in points:
+            results.append(runner.campaign(model, point, runs=160))
+
+    print(outcome_table(results))
+    print()
+    print(error_ratio_table(results))
+
+    wa15 = next(r for r in results if r.model == "WA" and r.point == "VR15")
+    da15 = next(r for r in results if r.model == "DA" and r.point == "VR15")
+    print()
+    if wa15.avm == 0.0 and da15.avm > 0.0:
+        print(f"{name} is safe at VR15 according to the workload-aware "
+              f"model, but the data-agnostic model reports AVM = "
+              f"{da15.avm:.0%} — the misleading pessimism the paper "
+              f"quantifies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure at paper-grade campaign sizes.
+
+Writes the full text report to stdout; EXPERIMENTS.md records the run.
+Campaign cells use the paper's 1068 statistically sized runs.
+"""
+
+import argparse
+import time
+
+from repro.experiments import (
+    avm_analysis,
+    fig4_paths,
+    fig5_bitflips,
+    fig6_convergence,
+    fig7_ia,
+    fig8_wa,
+    fig9_outcomes,
+    fig10_error_ratio,
+    table1_models,
+    table2_benchmarks,
+)
+from repro.experiments.context import ExperimentContext
+from repro.fpu.formats import FpOp
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--runs", type=int, default=1068)
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--samples", type=int, default=100_000)
+    args = parser.parse_args()
+
+    t0 = time.time()
+    print(f"# Full experiment regeneration (scale={args.scale}, "
+          f"runs={args.runs}, characterisation samples={args.samples})\n")
+
+    context = ExperimentContext.create(
+        scale=args.scale, seed=2021,
+        characterization_samples=args.samples,
+    )
+    print(f"[model development done in {time.time() - t0:.0f}s]\n")
+
+    print(table1_models.render(table1_models.run()), "\n")
+    print(table2_benchmarks.render(table2_benchmarks.run(context=context)),
+          "\n")
+    print(fig4_paths.render(fig4_paths.run(k=1000)), "\n")
+    print(fig5_bitflips.render(
+        fig5_bitflips.run(samples_per_op=args.samples)), "\n")
+    print(fig6_convergence.render(fig6_convergence.run(
+        profile=context.profiles["is"],
+        sample_sizes=(1_000, 10_000, min(args.samples, 1_000_000)),
+        op=FpOp.MUL_D)), "\n")
+    print(fig7_ia.render(fig7_ia.run(model=context.ia)), "\n")
+    print(fig8_wa.render(fig8_wa.run(context=context)), "\n")
+
+    t1 = time.time()
+    campaigns = context.run_campaigns(runs=args.runs)
+    print(f"[{len(campaigns)} campaign cells x {args.runs} runs in "
+          f"{time.time() - t1:.0f}s]\n")
+
+    print(fig9_outcomes.render(
+        fig9_outcomes.Fig9Result(results=campaigns,
+                                 runs_per_cell=args.runs)), "\n")
+    print(fig10_error_ratio.render(
+        fig10_error_ratio.run(campaign_results=campaigns)), "\n")
+    print(avm_analysis.render(
+        avm_analysis.run(context=context, campaign_results=campaigns)), "\n")
+
+    print(f"[total {time.time() - t0:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

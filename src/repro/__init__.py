@@ -1,0 +1,68 @@
+"""repro: circuit- and workload-aware assessment of CPU timing errors.
+
+A from-scratch reproduction of "Boosting Microprocessor Efficiency:
+Circuit- and Workload-Aware Assessment of Timing Errors" (IISWC 2021):
+a cross-layer timing-error injection framework spanning a gate-level
+circuit substrate, a bit-accurate voltage-scalable FPU with data-dependent
+dynamic timing, three error models (DA / IA / WA), a microarchitecture-
+level injector, the seven-benchmark workload suite and the campaign
+harness that regenerates every table and figure of the paper.
+
+Quick start::
+
+    from repro import (CampaignRunner, characterize_wa, make_workload,
+                       VR15, VR20)
+
+    workload = make_workload("sobel", scale="small")
+    runner = CampaignRunner(workload)
+    profile = runner.golden().profile
+    model = characterize_wa(profile, [VR15, VR20])
+    result = runner.campaign(model, VR20, runs=200)
+    print(result.counts, result.avm)
+"""
+
+from repro.campaign import (
+    CampaignResult,
+    CampaignRunner,
+    EnergyAnalysis,
+    Outcome,
+    OutcomeCounts,
+)
+from repro.circuit.liberty import NOMINAL, OperatingPoint, TECHNOLOGY, VR15, VR20
+from repro.errors import (
+    DaModel,
+    IaModel,
+    WaModel,
+    characterize_da,
+    characterize_ia,
+    characterize_wa,
+)
+from repro.fpu import ALL_OPS, FPU, FpOp
+from repro.workloads import WORKLOADS, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "EnergyAnalysis",
+    "Outcome",
+    "OutcomeCounts",
+    "NOMINAL",
+    "OperatingPoint",
+    "TECHNOLOGY",
+    "VR15",
+    "VR20",
+    "DaModel",
+    "IaModel",
+    "WaModel",
+    "characterize_da",
+    "characterize_ia",
+    "characterize_wa",
+    "ALL_OPS",
+    "FPU",
+    "FpOp",
+    "WORKLOADS",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Injection-campaign harness: the application-evaluation phase (Fig. 2).
+
+- :mod:`repro.campaign.outcomes` — the four-way outcome classification,
+- :mod:`repro.campaign.runner` — golden runs, per-run injection, and
+  full campaigns with statistically sized run counts,
+- :mod:`repro.campaign.avm` — the Application Vulnerability Metric and
+  the voltage/energy guidance analysis of Section V.C,
+- :mod:`repro.campaign.report` — plain-text renderings of every table
+  and figure series.
+"""
+
+from repro.campaign.outcomes import Outcome, OutcomeCounts
+from repro.campaign.runner import CampaignResult, CampaignRunner, GoldenRun
+from repro.campaign.avm import (
+    EnergyAnalysis,
+    application_vulnerability,
+    avm_divergence,
+)
+
+__all__ = [
+    "Outcome",
+    "OutcomeCounts",
+    "CampaignResult",
+    "CampaignRunner",
+    "GoldenRun",
+    "EnergyAnalysis",
+    "application_vulnerability",
+    "avm_divergence",
+]

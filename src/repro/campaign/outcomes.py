@@ -1,0 +1,78 @@
+"""Injection-outcome classification (Section IV.A).
+
+Every injection run ends in exactly one of the paper's four categories:
+
+- **Masked** — execution completed and the output is identical to the
+  error-free run's (includes errors squashed or dead in the pipeline),
+- **SDC** — execution completed normally but the output differs, with no
+  observable indication (silent data corruption),
+- **Crash** — the run was terminated by an unrecoverable event (process
+  crash, FP exception, memory fault),
+- **Timeout** — the run exceeded twice the error-free execution budget
+  (deadlock/livelock proxy) and was externally stopped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+
+class Outcome(enum.Enum):
+    MASKED = "Masked"
+    SDC = "SDC"
+    CRASH = "Crash"
+    TIMEOUT = "Timeout"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class OutcomeCounts:
+    """Tally of outcomes over a campaign."""
+
+    counts: Dict[Outcome, int] = field(
+        default_factory=lambda: {outcome: 0 for outcome in Outcome}
+    )
+
+    def record(self, outcome: Outcome) -> None:
+        self.counts[outcome] += 1
+
+    def extend(self, outcomes: Iterable[Outcome]) -> None:
+        for outcome in outcomes:
+            self.record(outcome)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, outcome: Outcome) -> float:
+        total = self.total
+        return self.counts[outcome] / total if total else 0.0
+
+    def fractions(self) -> Dict[Outcome, float]:
+        return {outcome: self.fraction(outcome) for outcome in Outcome}
+
+    @property
+    def non_masked(self) -> int:
+        return (self.counts[Outcome.SDC] + self.counts[Outcome.CRASH]
+                + self.counts[Outcome.TIMEOUT])
+
+    @property
+    def avm(self) -> float:
+        """Eq. 4: AVM = (#SDC + #Crash + #Timeout) / total injected."""
+        total = self.total
+        return self.non_masked / total if total else 0.0
+
+    def merge(self, other: "OutcomeCounts") -> "OutcomeCounts":
+        merged = OutcomeCounts()
+        for outcome in Outcome:
+            merged.counts[outcome] = (self.counts[outcome]
+                                      + other.counts[outcome])
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{o.value}={self.counts[o]}" for o in Outcome)
+        return f"OutcomeCounts({parts})"

@@ -1,0 +1,205 @@
+"""Campaign execution: golden runs + statistically sized injection runs.
+
+One :class:`CampaignRunner` owns a benchmark instance.  Its golden run
+produces the error-free output, the workload profile (dynamic FP counts +
+operand traces), the OoO pipeline schedule and the microarchitectural
+masking profile.  Each injection run then asks an error model for its
+injection event, places it through the microarchitecture injector, and
+executes the benchmark with the surviving corruption applied — classifying
+the result per :mod:`repro.campaign.outcomes`.
+
+Determinism: every stochastic decision draws from a named RNG stream
+derived from (campaign seed, model, point, run index), so campaigns are
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.campaign.outcomes import Outcome, OutcomeCounts
+from repro.circuit.liberty import OperatingPoint
+from repro.errors.base import ErrorModel, WorkloadProfile
+from repro.uarch.core import CoreParams, OoOCore, PipelineSchedule
+from repro.uarch.injector import MicroArchInjector
+from repro.uarch.masking import MaskingProfile
+from repro.uarch.trace import MIXES, synthesize_trace
+from repro.utils.rng import RngStream
+from repro.utils.stats import confidence_sample_size
+from repro.workloads.base import (
+    FPContext,
+    GuestCrash,
+    GuestTimeout,
+    Workload,
+)
+
+#: Exception types classified as Crash (process kill / panic / SIGFPE).
+CRASH_EXCEPTIONS = (
+    GuestCrash,
+    FloatingPointError,
+    ZeroDivisionError,
+    IndexError,
+    MemoryError,
+    OverflowError,
+)
+
+
+@dataclass
+class GoldenRun:
+    """Everything the injection phase needs from the error-free run."""
+
+    output: object
+    profile: WorkloadProfile
+    schedule: PipelineSchedule
+    masking: MaskingProfile
+    op_budget: int
+    fp_ops_executed: int
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one (benchmark, model, point) campaign cell."""
+
+    workload: str
+    model: str
+    point: str
+    counts: OutcomeCounts
+    error_ratio: float          # the model's injected-error ratio (Fig. 10)
+    uarch_masked: int = 0       # victims squashed/dead before software
+    runs_without_injection: int = 0
+    seed: int = 0
+
+    @property
+    def avm(self) -> float:
+        return self.counts.avm
+
+
+class CampaignRunner:
+    """Runs injection campaigns for one benchmark."""
+
+    def __init__(self, workload: Workload,
+                 core_params: Optional[CoreParams] = None,
+                 seed: int = 2021,
+                 trace_cap: int = 1_000_000):
+        self.workload = workload
+        self.core = OoOCore(core_params or CoreParams())
+        self.seed = seed
+        self.trace_cap = trace_cap
+        self._golden: Optional[GoldenRun] = None
+
+    # -- golden phase ---------------------------------------------------------------
+    def golden(self) -> GoldenRun:
+        """Error-free reference run (cached)."""
+        if self._golden is not None:
+            return self._golden
+        ctx = self.workload.make_context(
+            record_trace=True, trace_cap=self.trace_cap
+        )
+        output = self.workload.run(ctx)
+        profile = ctx.profile(self.workload.name, self.workload.ops_per_fp)
+
+        mix = MIXES.get(self.workload.mix_name, MIXES["default"])
+        window = synthesize_trace(
+            self.workload.name, ctx.fp_op_sequence(), mix=mix,
+            seed=self.seed,
+        )
+        schedule = self.core.simulate(
+            window,
+            total_fp_instructions=profile.fp_instructions,
+            ops_per_fp=mix.ops_per_fp,
+        )
+        profile.golden_cycles = schedule.total_cycles
+        masking = MaskingProfile.from_schedule(schedule)
+        self._golden = GoldenRun(
+            output=output,
+            profile=profile,
+            schedule=schedule,
+            masking=masking,
+            op_budget=2 * ctx.ops_executed,
+            fp_ops_executed=ctx.ops_executed,
+        )
+        return self._golden
+
+    # -- injection phase ---------------------------------------------------------------
+    def run_once(self, model: ErrorModel, point: OperatingPoint,
+                 run_index: int) -> Outcome:
+        """Execute a single injection run and classify it."""
+        golden = self.golden()
+        rng = RngStream(
+            self.seed, f"{self.workload.name}/{model.name}/{point.name}/"
+            f"{run_index}"
+        )
+        plan = model.plan(golden.profile, point, rng)
+        injector = MicroArchInjector(golden.schedule, golden.masking)
+        placed = injector.place(plan, rng)
+        corruption = placed.corruption_map()
+        if not corruption:
+            # Nothing reached architectural state: trivially masked.
+            return Outcome.MASKED
+        ctx = self.workload.make_context(
+            corruption=corruption, op_budget=golden.op_budget
+        )
+        try:
+            observed = self.workload.run(ctx)
+        except GuestTimeout:
+            return Outcome.TIMEOUT
+        except CRASH_EXCEPTIONS:
+            return Outcome.CRASH
+        if self.workload.outputs_equal(golden.output, observed):
+            return Outcome.MASKED
+        return Outcome.SDC
+
+    def campaign(self, model: ErrorModel, point: OperatingPoint,
+                 runs: Optional[int] = None) -> CampaignResult:
+        """Run a full campaign cell (default: the paper's 1068 runs)."""
+        if runs is None:
+            runs = confidence_sample_size()  # 1068
+        golden = self.golden()
+        counts = OutcomeCounts()
+        uarch_masked = 0
+        no_injection = 0
+        injector = MicroArchInjector(golden.schedule, golden.masking)
+        for run_index in range(runs):
+            rng = RngStream(
+                self.seed,
+                f"{self.workload.name}/{model.name}/{point.name}/{run_index}",
+            )
+            plan = model.plan(golden.profile, point, rng)
+            if not plan.injects:
+                no_injection += 1
+                counts.record(Outcome.MASKED)
+                continue
+            placed = injector.place(plan, rng)
+            uarch_masked += placed.masked_count
+            corruption = placed.corruption_map()
+            if not corruption:
+                counts.record(Outcome.MASKED)
+                continue
+            counts.record(self._execute(corruption, golden))
+        return CampaignResult(
+            workload=self.workload.name,
+            model=model.name,
+            point=point.name,
+            counts=counts,
+            error_ratio=model.error_ratio(golden.profile, point),
+            uarch_masked=uarch_masked,
+            runs_without_injection=no_injection,
+            seed=self.seed,
+        )
+
+    def _execute(self, corruption, golden: GoldenRun) -> Outcome:
+        ctx = self.workload.make_context(
+            corruption=corruption, op_budget=golden.op_budget
+        )
+        try:
+            observed = self.workload.run(ctx)
+        except GuestTimeout:
+            return Outcome.TIMEOUT
+        except CRASH_EXCEPTIONS:
+            return Outcome.CRASH
+        if self.workload.outputs_equal(golden.output, observed):
+            return Outcome.MASKED
+        return Outcome.SDC

@@ -1,0 +1,144 @@
+"""Voltage-sweep campaigns and Vmin search.
+
+Generalises the paper's two-point (VR15/VR20) study to arbitrary
+undervolting sweeps: characterise the WA model across a voltage grid,
+run campaigns only where the trace shows errors (error-free points are
+AVM-0 by construction), and locate each application's minimum safe
+voltage by bisection on the voltage axis — the "determine efficient
+operating settings under a desired output quality target" use-case of
+the paper's conclusions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.avm import EnergyAnalysis
+from repro.campaign.runner import CampaignResult, CampaignRunner
+from repro.circuit.liberty import NOMINAL, OperatingPoint, TECHNOLOGY
+from repro.errors.characterize import characterize_wa
+from repro.errors.wa import WaModel
+
+
+@dataclass
+class SweepPoint:
+    """One voltage step of a sweep."""
+
+    point: OperatingPoint
+    error_ratio: float
+    avm: float
+    result: Optional[CampaignResult] = None
+
+    @property
+    def error_free(self) -> bool:
+        return self.error_ratio == 0.0
+
+
+@dataclass
+class VoltageSweep:
+    """AVM-vs-voltage curve of one benchmark under the WA model."""
+
+    workload: str
+    steps: List[SweepPoint] = field(default_factory=list)
+
+    def safe_minimum(self, avm_target: float = 0.0) -> OperatingPoint:
+        """Lowest voltage whose AVM stays within target (NOM fallback)."""
+        safe = [s.point for s in self.steps if s.avm <= avm_target]
+        if not safe:
+            return NOMINAL
+        return min(safe, key=lambda p: p.voltage)
+
+    def monotone_avm(self) -> bool:
+        """Whether AVM is non-decreasing as voltage drops (timing wall)."""
+        ordered = sorted(self.steps, key=lambda s: -s.point.voltage)
+        avms = [s.avm for s in ordered]
+        return all(b >= a - 1e-9 for a, b in zip(avms, avms[1:]))
+
+
+class SweepRunner:
+    """Runs WA voltage sweeps for one benchmark."""
+
+    def __init__(self, runner: CampaignRunner, runs: int = 240):
+        self.runner = runner
+        self.runs = runs
+        self._model_cache: Dict[str, WaModel] = {}
+
+    def _model_for(self, points: Sequence[OperatingPoint]) -> WaModel:
+        key = ",".join(sorted(p.name for p in points))
+        if key not in self._model_cache:
+            profile = self.runner.golden().profile
+            self._model_cache[key] = characterize_wa(profile, points)
+        return self._model_cache[key]
+
+    def sweep(self, reductions: Sequence[float]) -> VoltageSweep:
+        """Characterise + campaign across fractional voltage reductions.
+
+        Error-free points skip the campaign (their AVM is structurally
+        zero: no injection event exists to replay).
+        """
+        points = [TECHNOLOGY.operating_point(r) for r in reductions]
+        model = self._model_for(points)
+        profile = self.runner.golden().profile
+        sweep = VoltageSweep(workload=self.runner.workload.name)
+        for point in points:
+            ratio = model.error_ratio(profile, point)
+            if ratio == 0.0:
+                sweep.steps.append(SweepPoint(point=point, error_ratio=0.0,
+                                              avm=0.0))
+                continue
+            result = self.runner.campaign(model, point, runs=self.runs)
+            sweep.steps.append(SweepPoint(point=point, error_ratio=ratio,
+                                          avm=result.avm, result=result))
+        return sweep
+
+    def find_vmin(self, lo_reduction: float = 0.0,
+                  hi_reduction: float = 0.30,
+                  resolution: float = 0.01,
+                  avm_target: float = 0.0) -> OperatingPoint:
+        """Bisect the voltage axis for the deepest AVM-safe reduction.
+
+        Uses the trace-level error ratio as the safety predicate when the
+        target is 0 (exact and cheap); otherwise falls back to campaigns
+        at the probe points.
+        """
+        if not 0.0 <= lo_reduction < hi_reduction:
+            raise ValueError("need 0 <= lo < hi reductions")
+        profile = self.runner.golden().profile
+
+        def is_safe(reduction: float) -> bool:
+            point = TECHNOLOGY.operating_point(reduction)
+            model = self._model_for([point])
+            ratio = model.error_ratio(profile, point)
+            if avm_target == 0.0 or ratio == 0.0:
+                return ratio == 0.0
+            result = self.runner.campaign(model, point, runs=self.runs)
+            return result.avm <= avm_target
+
+        if not is_safe(lo_reduction):
+            return NOMINAL
+        lo, hi = lo_reduction, hi_reduction
+        while hi - lo > resolution:
+            mid = (lo + hi) / 2.0
+            if is_safe(mid):
+                lo = mid
+            else:
+                hi = mid
+        return TECHNOLOGY.operating_point(round(lo / resolution) * resolution)
+
+
+def sweep_energy_report(sweep: VoltageSweep,
+                        energy: Optional[EnergyAnalysis] = None) -> str:
+    """Text summary of a sweep with the Section V.C energy numbers."""
+    energy = energy or EnergyAnalysis()
+    lines = [f"Voltage sweep — {sweep.workload}"]
+    for step in sorted(sweep.steps, key=lambda s: -s.point.voltage):
+        saving = energy.power_saving(step.point)
+        lines.append(
+            f"  {step.point.name:>6s} ({step.point.voltage:.3f} V): "
+            f"ER {step.error_ratio:9.3e}  AVM {step.avm:6.1%}  "
+            f"power -{saving:.0%}"
+        )
+    vmin = sweep.safe_minimum()
+    lines.append(f"  AVM-safe minimum: {vmin.name} ({vmin.voltage:.3f} V)")
+    return "\n".join(lines)

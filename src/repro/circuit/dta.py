@@ -1,0 +1,113 @@
+"""Dynamic timing analysis (Section III.A.1).
+
+Runs the two-parallel-instance experiment of the paper on a netlist: one
+event-driven simulation at nominal delays and one at voltage-scaled
+(longer) delays.  The nominal instance's settled output is the golden
+value; the scaled instance is sampled at the clock edge and XOR-compared
+bit-by-bit against the golden output, yielding the per-instruction error
+*bitmask* that drives injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.circuit.eventsim import EventSimulator
+from repro.circuit.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class DtaOutcome:
+    """Result of DTA for one input transition (one 'instruction').
+
+    ``bitmask`` has bit i set iff primary output i (in netlist output
+    order) was captured with a wrong value at the clock edge — the XOR of
+    golden and sampled outputs described in Section III.A.1.
+    """
+
+    golden: int
+    sampled: int
+    bitmask: int
+    worst_settle_ps: float
+
+    @property
+    def faulty(self) -> bool:
+        return self.bitmask != 0
+
+    @property
+    def flipped_bits(self) -> int:
+        return bin(self.bitmask).count("1")
+
+
+class DynamicTimingAnalysis:
+    """Two-instance DTA over a netlist at a fixed clock and delay factor."""
+
+    def __init__(self, netlist: Netlist, clock_ps: float,
+                 delay_factor: float):
+        if clock_ps <= 0:
+            raise ValueError("clock_ps must be positive")
+        if delay_factor < 1.0:
+            raise ValueError(
+                "delay_factor below 1.0 means faster-than-nominal silicon; "
+                "DTA models delay increase"
+            )
+        self.netlist = netlist
+        self.clock_ps = clock_ps
+        self.delay_factor = delay_factor
+        self._nominal = EventSimulator(netlist, delay_factor=1.0)
+        self._scaled = EventSimulator(netlist, delay_factor=delay_factor)
+        self._outputs = list(netlist.outputs)
+
+    def _pack(self, values: Dict[str, int]) -> int:
+        word = 0
+        for i, net in enumerate(self._outputs):
+            if values[net]:
+                word |= 1 << i
+        return word
+
+    def analyze_transition(self, previous: Dict[str, int],
+                           current: Dict[str, int]) -> DtaOutcome:
+        """DTA for a single back-to-back input pair."""
+        golden_values = self._nominal.settle(current)
+        golden = self._pack(golden_values)
+
+        result = self._scaled.simulate(previous, current)
+        sampled = self._pack(result.sampled_outputs(self.clock_ps))
+        worst = max(
+            (result.settle_times[n] for n in self._outputs), default=0.0
+        )
+        return DtaOutcome(
+            golden=golden,
+            sampled=sampled,
+            bitmask=golden ^ sampled,
+            worst_settle_ps=worst,
+        )
+
+    def analyze_sequence(
+        self, vectors: Sequence[Dict[str, int]]
+    ) -> List[DtaOutcome]:
+        """DTA over a stream of input vectors applied back-to-back.
+
+        The first vector only initialises the circuit state (no outcome is
+        emitted for it), matching the paper's per-cycle model where each
+        instruction's timing depends on the previous circuit state.
+        """
+        outcomes: List[DtaOutcome] = []
+        for previous, current in zip(vectors, vectors[1:]):
+            outcomes.append(self.analyze_transition(previous, current))
+        return outcomes
+
+    def error_ratio(self, vectors: Sequence[Dict[str, int]]) -> float:
+        """Eq. 2 over a vector stream: faulty / total transitions."""
+        outcomes = self.analyze_sequence(vectors)
+        if not outcomes:
+            raise ValueError("need at least two vectors for a transition")
+        return sum(1 for o in outcomes if o.faulty) / len(outcomes)
+
+    def verify_nominal(self, previous: Dict[str, int],
+                       current: Dict[str, int]) -> bool:
+        """Check the nominal instance meets timing (sanity gate for CLK)."""
+        result = self._nominal.simulate(previous, current)
+        sampled = self._pack(result.sampled_outputs(self.clock_ps))
+        return sampled == self._pack(self._nominal.settle(current))

@@ -1,0 +1,128 @@
+"""Structural-Verilog netlist export/import.
+
+The paper's toolflow hands a post-synthesis gate-level netlist (.v) from
+Design Compiler to ModelSim; this module round-trips our
+:class:`~repro.circuit.netlist.Netlist` through the same structural
+subset so netlists can be inspected with standard EDA tooling, diffed,
+or re-imported.  Only the flat gate-instance subset is supported — the
+exact shape synthesis emits:
+
+    module adder8 (input a_0, ..., output s_7);
+      wire n_12;
+      NAND2 g17 (.A(a_0), .B(b_0), .Y(n_12));
+      ...
+    endmodule
+
+Wire delays (the SDF annotation) are preserved in a sidecar comment per
+instance, so export -> import is lossless for timing too.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.circuit.cells import CellLibrary, LIBRARY
+from repro.circuit.netlist import Netlist
+
+#: Input pin names by arity, matching common standard-cell conventions.
+_PIN_NAMES = ["A", "B", "C"]
+_OUT_PIN = "Y"
+
+
+def _sanitize(net: str) -> str:
+    """Map internal net names to Verilog identifiers (reversibly)."""
+    return (net.replace("[", "__LB__").replace("]", "__RB__")
+            .replace(".", "__DOT__"))
+
+
+def _unsanitize(token: str) -> str:
+    return (token.replace("__LB__", "[").replace("__RB__", "]")
+            .replace("__DOT__", "."))
+
+
+def export_verilog(netlist: Netlist) -> str:
+    """Render a netlist as flat structural Verilog."""
+    netlist.validate()
+    inputs = [_sanitize(n) for n in netlist.inputs]
+    outputs = [_sanitize(n) for n in netlist.outputs]
+    ports = ([f"input {n}" for n in inputs]
+             + [f"output {n}" for n in outputs])
+    lines = [f"// netlist {netlist.name}: {len(netlist.gates)} cells",
+             f"module {netlist.name} (",
+             "  " + ",\n  ".join(ports),
+             ");"]
+    declared = set(netlist.inputs)
+    for gate in netlist.gates:
+        if gate.output not in declared and gate.output not in netlist.outputs:
+            lines.append(f"  wire {_sanitize(gate.output)};")
+            declared.add(gate.output)
+    for gate in netlist.gates:
+        pins = [f".{_PIN_NAMES[i]}({_sanitize(net)})"
+                for i, net in enumerate(gate.inputs)]
+        pins.append(f".{_OUT_PIN}({_sanitize(gate.output)})")
+        lines.append(
+            f"  {gate.cell.name} {gate.name} ({', '.join(pins)});"
+            f"  // wire_delay_ps={gate.wire_delay_ps!r}"
+        )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_MODULE_RE = re.compile(r"module\s+(\w+)\s*\((.*?)\);", re.S)
+_INSTANCE_RE = re.compile(
+    r"^\s*(\w+)\s+(\w+)\s*\((.*?)\);\s*"
+    r"(?://\s*wire_delay_ps=([0-9.eE+-]+))?\s*$"
+)
+_PIN_RE = re.compile(r"\.(\w+)\(([^)]*)\)")
+
+
+def import_verilog(text: str, library: CellLibrary = LIBRARY) -> Netlist:
+    """Parse the structural subset emitted by :func:`export_verilog`."""
+    header = _MODULE_RE.search(text)
+    if not header:
+        raise ValueError("no module declaration found")
+    name, port_block = header.groups()
+    netlist = Netlist(name, library=library)
+
+    outputs: List[str] = []
+    for port in port_block.split(","):
+        port = port.strip()
+        if not port:
+            continue
+        direction, _, ident = port.partition(" ")
+        net = _unsanitize(ident.strip())
+        if direction == "input":
+            netlist.add_input(net)
+        elif direction == "output":
+            outputs.append(net)
+        else:
+            raise ValueError(f"unsupported port declaration {port!r}")
+
+    body = text[header.end():]
+    for line in body.splitlines():
+        stripped = line.strip()
+        if (not stripped or stripped.startswith("//")
+                or stripped.startswith("wire ")
+                or stripped == "endmodule"):
+            continue
+        match = _INSTANCE_RE.match(line)
+        if not match:
+            raise ValueError(f"unparseable instance line: {stripped!r}")
+        cell_name, instance, pin_block, delay = match.groups()
+        if cell_name not in library:
+            raise ValueError(f"unknown cell {cell_name!r}")
+        pins: Dict[str, str] = {
+            pin: _unsanitize(net)
+            for pin, net in _PIN_RE.findall(pin_block)
+        }
+        output = pins.pop(_OUT_PIN)
+        arity = library[cell_name].inputs
+        ordered = [pins[_PIN_NAMES[i]] for i in range(arity)]
+        gate = netlist.add_gate(cell_name, ordered, output, name=instance)
+        if delay is not None:
+            gate.wire_delay_ps = float(delay)
+
+    netlist.mark_outputs(outputs)
+    netlist.validate()
+    return netlist

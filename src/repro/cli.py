@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the toolflow of Fig. 2 as commands:
+
+- ``characterize`` — model-development phase: build and save DA/IA/WA
+  artifacts for a benchmark,
+- ``campaign``     — application-evaluation phase: run an injection
+  campaign from a saved (or freshly built) model,
+- ``experiment``   — regenerate one paper artifact by id (fig4..fig10,
+  table1, table2, avm),
+- ``list``         — show available benchmarks and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.campaign.report import outcome_table
+from repro.campaign.runner import CampaignRunner
+from repro.circuit.liberty import TECHNOLOGY, VR15, VR20
+from repro.errors import (
+    characterize_da,
+    characterize_ia,
+    characterize_wa,
+    store,
+)
+from repro.workloads import WORKLOADS, make_workload
+
+_EXPERIMENTS = {
+    "fig4": "repro.experiments.fig4_paths",
+    "fig5": "repro.experiments.fig5_bitflips",
+    "fig6": "repro.experiments.fig6_convergence",
+    "fig7": "repro.experiments.fig7_ia",
+    "fig8": "repro.experiments.fig8_wa",
+    "fig9": "repro.experiments.fig9_outcomes",
+    "fig10": "repro.experiments.fig10_error_ratio",
+    "table1": "repro.experiments.table1_models",
+    "table2": "repro.experiments.table2_benchmarks",
+    "avm": "repro.experiments.avm_analysis",
+}
+
+
+def _points_for(reductions):
+    return [TECHNOLOGY.operating_point(r / 100.0) for r in reductions]
+
+
+def _cmd_list(args) -> int:
+    print("benchmarks: " + ", ".join(sorted(WORKLOADS)))
+    print("experiments: " + ", ".join(sorted(_EXPERIMENTS)))
+    print("scales: tiny, small, paper")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    points = _points_for(args.vr)
+    workload = make_workload(args.benchmark, scale=args.scale,
+                             seed=args.seed)
+    runner = CampaignRunner(workload, seed=args.seed)
+    profile = runner.golden().profile
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.model in ("wa", "all"):
+        path = store.save_wa(characterize_wa(profile, points),
+                             out_dir / f"wa_{args.benchmark}.json")
+        print(f"wrote {path}")
+    if args.model in ("ia", "all"):
+        path = store.save_ia(
+            characterize_ia(points, samples_per_op=args.samples,
+                            seed=args.seed),
+            out_dir / "ia.json",
+        )
+        print(f"wrote {path}")
+    if args.model in ("da", "all"):
+        path = store.save_da(
+            characterize_da([profile], points,
+                            sample_per_point=args.samples, seed=args.seed),
+            out_dir / "da.json",
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    points = _points_for(args.vr)
+    workload = make_workload(args.benchmark, scale=args.scale,
+                             seed=args.seed)
+    runner = CampaignRunner(workload, seed=args.seed)
+    profile = runner.golden().profile
+    if args.model_file:
+        model = store.load_any(args.model_file)
+    else:
+        model = characterize_wa(profile, points)
+    results = [runner.campaign(model, point, runs=args.runs)
+               for point in points]
+    print(outcome_table(results))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    module = importlib.import_module(_EXPERIMENTS[args.id])
+    if args.id in ("fig9", "avm"):
+        result = module.run(runs=args.runs, scale=args.scale)
+    elif args.id in ("fig8", "table2", "fig10"):
+        result = module.run(scale=args.scale)
+    elif args.id == "fig6":
+        result = module.run(scale=args.scale)
+    elif args.id in ("fig4", "table1"):
+        result = module.run()
+    else:
+        result = module.run(seed=2021)
+    print(module.render(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Circuit- and workload-aware timing-error assessment",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show benchmarks and experiments")
+
+    p = sub.add_parser("characterize",
+                       help="build and save error-model artifacts")
+    p.add_argument("benchmark", choices=sorted(WORKLOADS))
+    p.add_argument("--model", choices=["da", "ia", "wa", "all"],
+                   default="wa")
+    p.add_argument("--scale", default="small",
+                   choices=["tiny", "small", "paper"])
+    p.add_argument("--vr", type=int, nargs="+", default=[15, 20],
+                   help="voltage reductions in percent")
+    p.add_argument("--samples", type=int, default=100_000)
+    p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--output", default="artifacts")
+
+    p = sub.add_parser("campaign", help="run an injection campaign")
+    p.add_argument("benchmark", choices=sorted(WORKLOADS))
+    p.add_argument("--model-file", help="saved artifact (default: fresh WA)")
+    p.add_argument("--runs", type=int, default=1068)
+    p.add_argument("--scale", default="small",
+                   choices=["tiny", "small", "paper"])
+    p.add_argument("--vr", type=int, nargs="+", default=[15, 20])
+    p.add_argument("--seed", type=int, default=2021)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p.add_argument("id", choices=sorted(_EXPERIMENTS))
+    p.add_argument("--runs", type=int, default=200)
+    p.add_argument("--scale", default="small",
+                   choices=["tiny", "small", "paper"])
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "characterize": _cmd_characterize,
+        "campaign": _cmd_campaign,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Timing-error models (Table I of the paper) and their characterisation.
+
+- :mod:`repro.errors.base` — common interfaces: workload profiles,
+  injection plans, the :class:`ErrorModel` contract,
+- :mod:`repro.errors.da` — data-agnostic model (fixed error ratio),
+- :mod:`repro.errors.ia` — instruction-aware statistical model,
+- :mod:`repro.errors.wa` — the proposed instruction- and workload-aware
+  model backed by trace-level dynamic timing analysis,
+- :mod:`repro.errors.characterize` — the model-development phase drivers
+  that build all three from DTA.
+"""
+
+from repro.errors.base import (
+    ErrorModel,
+    InjectionPlan,
+    Victim,
+    WorkloadProfile,
+)
+from repro.errors.da import DaModel
+from repro.errors.ia import IaModel
+from repro.errors.wa import WaModel
+from repro.errors.characterize import (
+    characterize_da,
+    characterize_ia,
+    characterize_wa,
+    random_operands,
+)
+
+__all__ = [
+    "ErrorModel",
+    "InjectionPlan",
+    "Victim",
+    "WorkloadProfile",
+    "DaModel",
+    "IaModel",
+    "WaModel",
+    "characterize_da",
+    "characterize_ia",
+    "characterize_wa",
+    "random_operands",
+]

@@ -1,0 +1,177 @@
+"""Model-development phase: build the three error models from DTA.
+
+Mirrors Fig. 2's left half.  All characterisation goes through the same
+:class:`repro.fpu.unit.FPU` DTA backend; the models differ only in what
+operands they feed it (the point of the paper):
+
+- DA: operands randomly extracted from the benchmark mix, collapsed to one
+  fixed number per voltage,
+- IA: uniformly distributed random operands per instruction type,
+- WA: the workload's own dynamic operand trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.liberty import OperatingPoint
+from repro.errors.base import WorkloadProfile
+from repro.errors.da import DaModel
+from repro.errors.ia import IaModel, InstructionStats
+from repro.errors.wa import TraceFaults, WaModel
+from repro.fpu import ops
+from repro.fpu.formats import ALL_OPS, FpOp
+from repro.fpu.unit import FPU
+from repro.utils.rng import RngStream
+
+#: Default operand sample per instruction type (paper: 1e6; Fig. 6 shows
+#: the convergence that justifies smaller development-time samples).
+DEFAULT_SAMPLE = 100_000
+
+
+def random_operands(op: FpOp, n: int, rng: RngStream,
+                    magnitude: float = 1000.0
+                    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Uniformly distributed random operands for one instruction type.
+
+    Matches the paper's IA characterisation inputs: operand *values* drawn
+    uniformly from a symmetric range (integers for i2f), encoded in the
+    instruction's format.
+    """
+    if op.kind == "i2f":
+        width = 64 if op.is_double else 32
+        low = -(1 << (width - 2))
+        a = rng.integers(low, -low, size=n).astype(np.int64)
+        if not op.is_double:
+            a = a & 0xFFFFFFFF
+        return a.view(np.uint64) if op.is_double else a.astype(np.uint64), None
+    values = rng.generator.uniform(-magnitude, magnitude, size=n)
+    a = ops.values_to_bits(op, values)
+    if not op.has_two_operands:
+        return a, None
+    values_b = rng.generator.uniform(-magnitude, magnitude, size=n)
+    return a, ops.values_to_bits(op, values_b)
+
+
+def _per_bit_counts(masks: np.ndarray, width: int) -> np.ndarray:
+    """Count, per bit position, how many masks flip it."""
+    counts = np.zeros(width, dtype=np.int64)
+    if masks.size == 0:
+        return counts
+    for bit in range(width):
+        counts[bit] = int(np.count_nonzero((masks >> np.uint64(bit)) & np.uint64(1)))
+    return counts
+
+
+def characterize_ia(points: Sequence[OperatingPoint],
+                    fpu: Optional[FPU] = None,
+                    samples_per_op: int = DEFAULT_SAMPLE,
+                    seed: int = 2021,
+                    ops_under_test: Optional[Iterable[FpOp]] = None,
+                    ) -> IaModel:
+    """Build the IA-model: DTA on random operands per instruction type.
+
+    This run also yields the Fig. 7 data (per-bit injection probabilities
+    per instruction type and VR level) via
+    :meth:`repro.errors.ia.InstructionStats.unconditional_ber`.
+    """
+    fpu = fpu or FPU()
+    rng = RngStream(seed, "ia-characterization")
+    stats: Dict[str, Dict[FpOp, InstructionStats]] = {
+        point.name: {} for point in points
+    }
+    for op in (ops_under_test or ALL_OPS):
+        a, b = random_operands(op, samples_per_op, rng.child(op.value))
+        batch = fpu.dta(op, a, b, points)
+        for point in points:
+            masks = batch.masks[point.name]
+            faulty = masks[masks != 0]
+            ratio = faulty.size / samples_per_op
+            counts = _per_bit_counts(faulty, op.fmt.width)
+            conditional = (counts / faulty.size) if faulty.size else (
+                np.zeros(op.fmt.width)
+            )
+            stats[point.name][op] = InstructionStats(
+                error_ratio=ratio,
+                bit_probabilities=conditional,
+                sample_size=samples_per_op,
+            )
+    return IaModel(stats)
+
+
+def characterize_da(profiles: Sequence[WorkloadProfile],
+                    points: Sequence[OperatingPoint],
+                    fpu: Optional[FPU] = None,
+                    sample_per_point: int = DEFAULT_SAMPLE,
+                    seed: int = 2021) -> DaModel:
+    """Build the DA-model: one fixed ER per point from the benchmark mix.
+
+    Follows Section IV.C.1: instructions are randomly extracted from the
+    considered benchmarks (their recorded traces), DTA measures the mean
+    error ratio, and that single number becomes the model.
+    """
+    fpu = fpu or FPU()
+    rng = RngStream(seed, "da-characterization")
+    ratios: Dict[str, float] = {}
+    pool: List[Tuple[FpOp, np.ndarray, Optional[np.ndarray]]] = []
+    for profile in profiles:
+        for op, (a, b) in profile.trace_by_op.items():
+            if a.size:
+                pool.append((op, a, b))
+    if not pool:
+        raise ValueError("DA characterisation needs at least one non-empty trace")
+    total_weight = sum(a.size for _, a, _ in pool)
+    for point in points:
+        faulty = 0
+        analysed = 0
+        for op, a, b in pool:
+            take = max(1, int(round(sample_per_point * a.size / total_weight)))
+            take = min(take, a.size)
+            sel = rng.integers(0, a.size, size=take)
+            aa = a[sel]
+            bb = b[sel] if b is not None else None
+            batch = fpu.dta(op, aa, bb, [point])
+            faulty += int(np.count_nonzero(batch.masks[point.name]))
+            analysed += take
+        ratios[point.name] = faulty / analysed if analysed else 0.0
+    return DaModel(ratios)
+
+
+def characterize_wa(profile: WorkloadProfile,
+                    points: Sequence[OperatingPoint],
+                    fpu: Optional[FPU] = None,
+                    max_samples: int = 1_000_000,
+                    burst_window: int = 8) -> WaModel:
+    """Build the WA-model: DTA over the workload's own operand trace.
+
+    Per Section IV.C.3 the paper applies DTA to 1 M instructions randomly
+    extracted from the executed workload; we analyse the recorded trace up
+    to ``max_samples`` per type.  The per-bit BER arrays captured here are
+    the Fig. 8 series.
+    """
+    fpu = fpu or FPU()
+    faults: Dict[str, Dict[FpOp, TraceFaults]] = {
+        point.name: {} for point in points
+    }
+    for op, (a, b) in profile.trace_by_op.items():
+        if a.size == 0:
+            continue
+        take = min(a.size, max_samples)
+        aa = a[:take]
+        bb = b[:take] if b is not None else None
+        batch = fpu.dta(op, aa, bb, points)
+        for point in points:
+            masks = batch.masks[point.name]
+            idx = np.nonzero(masks)[0].astype(np.int64)
+            counts = _per_bit_counts(masks[idx], op.fmt.width)
+            faults[point.name][op] = TraceFaults(
+                op=op,
+                indices=idx,
+                bitmasks=masks[idx].astype(np.uint64),
+                analysed=take,
+                ber=counts / take,
+            )
+    return WaModel(workload=profile.name, faults=faults,
+                   burst_window=burst_window)

@@ -1,0 +1,95 @@
+"""Persistence of characterised error-model artifacts.
+
+The model-development phase (DTA characterisation) is the expensive half
+of Fig. 2; these helpers serialise its products to JSON so the
+application-evaluation phase can re-run campaigns without repeating it —
+the same artifact-handoff structure the paper's toolflow uses between its
+two phases.  JSON (not pickle) keeps artifacts inspectable and safe to
+share.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors.da import DaModel
+from repro.errors.ia import IaModel
+from repro.errors.wa import WaModel
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _wrap(kind: str, payload: dict) -> dict:
+    return {"format_version": _FORMAT_VERSION, "model": kind,
+            "payload": payload}
+
+
+def _unwrap(data: dict, expected_kind: str) -> dict:
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported artifact format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    kind = data.get("model")
+    if kind != expected_kind:
+        raise ValueError(
+            f"artifact holds a {kind!r} model, expected {expected_kind!r}"
+        )
+    return data["payload"]
+
+
+def save_da(model: DaModel, path: PathLike) -> Path:
+    path = Path(path)
+    payload = {
+        "fixed_error_ratios": model.fixed_error_ratios,
+        "injection_window": model.injection_window,
+    }
+    path.write_text(json.dumps(_wrap("DA", payload), indent=2))
+    return path
+
+
+def load_da(path: PathLike) -> DaModel:
+    payload = _unwrap(json.loads(Path(path).read_text()), "DA")
+    return DaModel(payload["fixed_error_ratios"],
+                   injection_window=int(payload["injection_window"]))
+
+
+def save_ia(model: IaModel, path: PathLike) -> Path:
+    path = Path(path)
+    payload = {"stats": model.to_dict(),
+               "injection_window": model.injection_window}
+    path.write_text(json.dumps(_wrap("IA", payload), indent=2))
+    return path
+
+
+def load_ia(path: PathLike) -> IaModel:
+    payload = _unwrap(json.loads(Path(path).read_text()), "IA")
+    model = IaModel.from_dict(payload["stats"])
+    model.injection_window = int(payload["injection_window"])
+    return model
+
+
+def save_wa(model: WaModel, path: PathLike) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(_wrap("WA", model.to_dict()), indent=2))
+    return path
+
+
+def load_wa(path: PathLike) -> WaModel:
+    payload = _unwrap(json.loads(Path(path).read_text()), "WA")
+    return WaModel.from_dict(payload)
+
+
+def load_any(path: PathLike):
+    """Load whichever model kind the artifact holds."""
+    data = json.loads(Path(path).read_text())
+    kind = data.get("model")
+    loaders = {"DA": load_da, "IA": load_ia, "WA": load_wa}
+    if kind not in loaders:
+        raise ValueError(f"unknown model kind {kind!r} in {path}")
+    return loaders[kind](path)

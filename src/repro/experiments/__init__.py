@@ -1,0 +1,11 @@
+"""Per-artifact reproduction drivers.
+
+One module per table/figure of the paper's evaluation (see DESIGN.md's
+per-experiment index).  Every driver exposes ``run(...)`` returning
+structured data plus a ``render(result)`` producing the paper-shaped text
+report; ``python -m repro.experiments.<driver>`` prints it.
+"""
+
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["ExperimentContext"]

@@ -1,0 +1,92 @@
+"""Shared experiment context: workloads, golden runs, characterised models.
+
+Building the context once (golden runs + DTA characterisation for every
+benchmark) is the model-development phase of Fig. 2; each experiment
+driver then reuses it.  ``ExperimentContext.create`` is deterministic in
+its seed, so every driver regenerates identical numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaign.runner import CampaignResult, CampaignRunner
+from repro.circuit.liberty import OperatingPoint, VR15, VR20
+from repro.errors import (
+    DaModel,
+    IaModel,
+    WaModel,
+    characterize_da,
+    characterize_ia,
+    characterize_wa,
+)
+from repro.errors.base import ErrorModel, WorkloadProfile
+from repro.fpu.unit import FPU
+from repro.workloads import WORKLOADS, make_workload
+
+#: Table II benchmark order.
+BENCHMARKS = ("sobel", "cg", "kmeans", "srad_v1", "hotspot", "is", "mg")
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the evaluation-phase drivers need, built once."""
+
+    scale: str
+    seed: int
+    points: List[OperatingPoint]
+    fpu: FPU
+    runners: Dict[str, CampaignRunner]
+    profiles: Dict[str, WorkloadProfile]
+    da: DaModel
+    ia: IaModel
+    wa: Dict[str, WaModel]
+
+    @classmethod
+    def create(cls, scale: str = "small", seed: int = 2021,
+               points: Optional[Sequence[OperatingPoint]] = None,
+               characterization_samples: int = 50_000,
+               benchmarks: Sequence[str] = BENCHMARKS,
+               ) -> "ExperimentContext":
+        """Model-development phase over the chosen benchmarks."""
+        points = list(points) if points else [VR15, VR20]
+        fpu = FPU()
+        runners: Dict[str, CampaignRunner] = {}
+        profiles: Dict[str, WorkloadProfile] = {}
+        wa: Dict[str, WaModel] = {}
+        for name in benchmarks:
+            workload = make_workload(name, scale=scale, seed=seed)
+            runner = CampaignRunner(workload, seed=seed)
+            golden = runner.golden()
+            runners[name] = runner
+            profiles[name] = golden.profile
+            wa[name] = characterize_wa(golden.profile, points, fpu=fpu)
+        ia = characterize_ia(points, fpu=fpu,
+                             samples_per_op=characterization_samples,
+                             seed=seed)
+        da = characterize_da(list(profiles.values()), points, fpu=fpu,
+                             sample_per_point=characterization_samples,
+                             seed=seed)
+        return cls(scale=scale, seed=seed, points=points, fpu=fpu,
+                   runners=runners, profiles=profiles, da=da, ia=ia, wa=wa)
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return list(self.runners)
+
+    def models_for(self, benchmark: str) -> List[ErrorModel]:
+        """The three compared models (Table I order) for one benchmark."""
+        return [self.da, self.ia, self.wa[benchmark]]
+
+    def run_campaigns(self, runs: int,
+                      benchmarks: Optional[Sequence[str]] = None,
+                      ) -> List[CampaignResult]:
+        """All (benchmark x model x point) campaign cells (Figs. 9/10)."""
+        results: List[CampaignResult] = []
+        for name in (benchmarks or self.benchmarks):
+            runner = self.runners[name]
+            for model in self.models_for(name):
+                for point in self.points:
+                    results.append(runner.campaign(model, point, runs=runs))
+        return results

@@ -1,0 +1,51 @@
+"""Fig. 9: injection-outcome distributions per benchmark, model, VR level.
+
+The paper's headline campaigns: 1068 statistically sized injection runs
+per (benchmark, VR level, model) cell, outcomes classified as Masked /
+SDC / Crash / Timeout.  Expected shape (paper): WA diverges strongly from
+DA/IA; hotspot is error-free at VR15 under WA while DA calls it fully
+corrupted; k-means is tolerant under IA/WA; cg keeps substantial masking
+under WA only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.campaign.report import outcome_table
+from repro.campaign.runner import CampaignResult
+from repro.experiments.context import ExperimentContext
+from repro.utils.stats import confidence_sample_size
+
+
+@dataclass
+class Fig9Result:
+    results: List[CampaignResult]
+    runs_per_cell: int
+
+    def cell(self, workload: str, model: str, point: str) -> CampaignResult:
+        for result in self.results:
+            if (result.workload, result.model, result.point) == (
+                    workload, model, point):
+                return result
+        raise KeyError((workload, model, point))
+
+
+def run(context: Optional[ExperimentContext] = None,
+        runs: Optional[int] = None,
+        scale: str = "small", seed: int = 2021) -> Fig9Result:
+    context = context or ExperimentContext.create(scale=scale, seed=seed)
+    runs = runs if runs is not None else confidence_sample_size()
+    return Fig9Result(results=context.run_campaigns(runs),
+                      runs_per_cell=runs)
+
+
+def render(result: Fig9Result) -> str:
+    header = (f"Fig. 9 — outcome distributions "
+              f"({result.runs_per_cell} runs per cell)")
+    return header + "\n" + outcome_table(result.results)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run(runs=200)))

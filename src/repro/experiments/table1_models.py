@@ -1,0 +1,41 @@
+"""Table I: overview of the compared error-injection models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.campaign.report import feature_matrix
+from repro.errors.da import DaModel
+from repro.errors.ia import IaModel
+from repro.errors.wa import WaModel
+
+
+@dataclass
+class Table1Result:
+    rows: List[Dict[str, object]]
+
+
+def run() -> Table1Result:
+    models = [
+        DaModel({"VR15": 1e-3, "VR20": 1e-2}),
+        IaModel({"VR15": {}, "VR20": {}}),
+        WaModel("any", {"VR15": {}, "VR20": {}}),
+    ]
+    return Table1Result(rows=[m.feature_row() for m in models])
+
+
+def render(result: Table1Result) -> str:
+    class _Rowed:
+        def __init__(self, row):
+            self._row = row
+
+        def feature_row(self):
+            return self._row
+
+    return ("Table I — error-model feature overview\n"
+            + feature_matrix(_Rowed(row) for row in result.rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render(run()))

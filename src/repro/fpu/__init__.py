@@ -1,0 +1,18 @@
+"""The device under test: a marocchino-like IEEE-754 FPU.
+
+- :mod:`repro.fpu.formats` — instruction set (the 12 FP instructions of
+  Section IV.B) and format geometry,
+- :mod:`repro.fpu.softfloat` — bit-accurate scalar reference implementation,
+- :mod:`repro.fpu.ops` — vectorised golden execution used by campaigns,
+- :mod:`repro.fpu.stages` — the 6-stage decomposition of Fig. 3, exposing
+  the internal signals (alignment shifts, carry words, normalisation
+  distances) that drive dynamic timing,
+- :mod:`repro.fpu.timing` — the vectorised dynamic-timing-analysis backend
+  (per-bit, data-dependent error bitmasks),
+- :mod:`repro.fpu.unit` — the FPU facade combining execution and DTA.
+"""
+
+from repro.fpu.formats import FpOp, OPS_DOUBLE, OPS_SINGLE, ALL_OPS
+from repro.fpu.unit import FPU, DtaBatch
+
+__all__ = ["FpOp", "OPS_DOUBLE", "OPS_SINGLE", "ALL_OPS", "FPU", "DtaBatch"]

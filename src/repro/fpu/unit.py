@@ -1,0 +1,73 @@
+"""FPU facade: golden execution + dynamic timing analysis in one object.
+
+``FPU`` is what the rest of the framework talks to: the model-development
+phase calls :meth:`FPU.dta` to characterise error behaviour, and the
+application-evaluation phase uses :meth:`FPU.execute_batch` for golden
+results and applies model bitmasks on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.circuit.liberty import NOMINAL, OperatingPoint, TECHNOLOGY
+from repro.fpu import ops, softfloat
+from repro.fpu.formats import FpOp
+from repro.fpu.timing import DEFAULT_MODEL, TimingModel
+
+
+@dataclass
+class DtaBatch:
+    """DTA result for one operand batch: golden results + per-point masks."""
+
+    op: FpOp
+    golden: np.ndarray
+    masks: Dict[str, np.ndarray]
+
+    def faulty_results(self, point_name: str) -> np.ndarray:
+        """The values the scaled instance would actually latch."""
+        return self.golden ^ self.masks[point_name]
+
+    def error_ratio(self, point_name: str) -> float:
+        """Eq. 2 for this batch at the given operating point."""
+        mask = self.masks[point_name]
+        return float(np.count_nonzero(mask)) / max(1, mask.size)
+
+
+class FPU:
+    """The voltage-scalable floating-point unit under study."""
+
+    def __init__(self, timing_model: Optional[TimingModel] = None):
+        self.timing_model = timing_model or DEFAULT_MODEL
+
+    # -- architectural execution ---------------------------------------------------
+    def execute(self, op: FpOp, a: int, b: int = 0) -> int:
+        """Scalar golden execution (bit-accurate softfloat reference)."""
+        return softfloat.execute(op, a, b)
+
+    def execute_batch(self, op: FpOp, a: np.ndarray,
+                      b: Optional[np.ndarray] = None) -> np.ndarray:
+        """Vectorised golden execution over raw bit patterns."""
+        return ops.golden(op, a, b)
+
+    # -- dynamic timing analysis ----------------------------------------------------
+    def dta(self, op: FpOp, a: np.ndarray, b: Optional[np.ndarray],
+            points: Sequence[OperatingPoint]) -> DtaBatch:
+        """Two-instance DTA over a batch (Section III.A.1, vectorised)."""
+        a = np.asarray(a, dtype=np.uint64)
+        golden = ops.golden(op, a, b)
+        masks = self.timing_model.error_masks(op, a, b, points, golden=golden)
+        return DtaBatch(op=op, golden=golden, masks=masks)
+
+    def nominal_is_clean(self, op: FpOp, a: np.ndarray,
+                         b: Optional[np.ndarray] = None) -> bool:
+        """Design invariant: no timing errors at the nominal point."""
+        batch = self.dta(op, a, b, [NOMINAL])
+        return batch.error_ratio(NOMINAL.name) == 0.0
+
+    def operating_point(self, reduction: float) -> OperatingPoint:
+        """Operating point for a fractional voltage reduction."""
+        return self.timing_model.technology.operating_point(reduction)

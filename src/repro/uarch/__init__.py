@@ -1,0 +1,34 @@
+"""Microarchitecture layer: the gem5 substitute.
+
+- :mod:`repro.uarch.isa` — compact RISC-like dynamic-instruction encoding,
+- :mod:`repro.uarch.trace` — dynamic trace synthesis around a workload's
+  FP instruction stream (per-benchmark instruction mixes),
+- :mod:`repro.uarch.core` — cycle-level out-of-order core model
+  (timestamp-based: fetch/rename/issue/writeback/commit with ROB, FU and
+  branch-resolution constraints) plus a small functional in-order core,
+- :mod:`repro.uarch.masking` — microarchitectural masking analysis
+  (wrong-path squashes, dead register writes),
+- :mod:`repro.uarch.injector` — cycle-accurate placement of model
+  bitmasks into the pipeline, resolving masking before corruption.
+"""
+
+from repro.uarch.isa import InstrClass
+from repro.uarch.trace import TraceMix, TraceWindow, synthesize_trace, MIXES
+from repro.uarch.core import CoreParams, OoOCore, PipelineSchedule, FunctionalCore
+from repro.uarch.masking import MaskingProfile
+from repro.uarch.injector import MicroArchInjector, PlacedInjection
+
+__all__ = [
+    "InstrClass",
+    "TraceMix",
+    "TraceWindow",
+    "synthesize_trace",
+    "MIXES",
+    "CoreParams",
+    "OoOCore",
+    "PipelineSchedule",
+    "FunctionalCore",
+    "MaskingProfile",
+    "MicroArchInjector",
+    "PlacedInjection",
+]

@@ -1,0 +1,84 @@
+"""Cycle-accurate placement of model bitmasks into the pipeline.
+
+The bridge between the error models (which name a victim dynamic FP
+instruction and a bitmask) and the workload execution (which needs to know
+which of its FP results to corrupt): the injector timestamps each victim
+with the cycle its destination register is written (from the OoO
+schedule), resolves microarchitectural masking, and emits the effective
+corruption map consumed by the workloads' FP interposition context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors.base import InjectionPlan, Victim
+from repro.fpu.formats import FpOp
+from repro.uarch.core import PipelineSchedule
+from repro.uarch.masking import MaskingProfile
+from repro.utils.rng import RngStream
+
+
+@dataclass(frozen=True)
+class PlacedInjection:
+    """One victim with its pipeline placement and masking resolution."""
+
+    victim: Victim
+    cycle: int
+    uarch_masked: bool
+
+
+@dataclass
+class InjectionOutcomePlan:
+    """The injector's output for one run."""
+
+    placements: List[PlacedInjection] = field(default_factory=list)
+
+    @property
+    def effective(self) -> List[Victim]:
+        return [p.victim for p in self.placements if not p.uarch_masked]
+
+    @property
+    def masked_count(self) -> int:
+        return sum(1 for p in self.placements if p.uarch_masked)
+
+    def corruption_map(self) -> Dict[FpOp, Dict[int, int]]:
+        """{op: {dynamic index: cumulative XOR mask}} for the FP context."""
+        out: Dict[FpOp, Dict[int, int]] = {}
+        for victim in self.effective:
+            per_op = out.setdefault(victim.op, {})
+            per_op[victim.index] = per_op.get(victim.index, 0) ^ victim.bitmask
+        return out
+
+
+class MicroArchInjector:
+    """Places a model's injection plan into a concrete pipeline schedule."""
+
+    def __init__(self, schedule: PipelineSchedule,
+                 masking: Optional[MaskingProfile] = None):
+        self.schedule = schedule
+        self.masking = masking or MaskingProfile.from_schedule(schedule)
+
+    def place(self, plan: InjectionPlan, rng: RngStream,
+              op_offsets: Optional[Dict[FpOp, int]] = None
+              ) -> InjectionOutcomePlan:
+        """Timestamp and masking-resolve every victim of a plan.
+
+        ``op_offsets`` maps each op to its starting position in the merged
+        FP stream, so per-op victim indices convert to global FP indices
+        for cycle lookup (callers that interleave types heavily can pass
+        exact offsets; the default approximates with zero offsets, which
+        only affects reported cycles, never corruption semantics).
+        """
+        outcome = InjectionOutcomePlan()
+        offsets = op_offsets or {}
+        for victim in plan.victims:
+            global_index = victim.index + offsets.get(victim.op, 0)
+            cycle = self.schedule.cycle_of_fp(global_index)
+            masked = self.masking.is_masked(victim, rng)
+            outcome.placements.append(
+                PlacedInjection(victim=victim, cycle=cycle,
+                                uarch_masked=masked)
+            )
+        return outcome

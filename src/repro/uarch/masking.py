@@ -1,0 +1,56 @@
+"""Microarchitectural masking analysis (Section II.E).
+
+Errors injected into a pipeline do not always reach architectural state:
+wrong-path instructions are squashed with their results, and results whose
+destination register is overwritten before any consumer reads it are dead.
+Ignoring these effects is exactly what the paper says "can misguide
+resilience studies"; the campaign injector consults a
+:class:`MaskingProfile` derived from the core model's schedule before it
+corrupts anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors.base import Victim
+from repro.uarch.core import PipelineSchedule
+from repro.utils.rng import RngStream
+
+
+@dataclass(frozen=True)
+class MaskingProfile:
+    """Per-benchmark microarchitectural masking rates.
+
+    Both rates come from the OoO schedule: ``wrong_path_rate`` from the
+    misprediction redirect windows, ``dead_write_rate`` from FP register
+    lifetime analysis of the trace.
+    """
+
+    wrong_path_rate: float
+    dead_write_rate: float
+
+    def __post_init__(self):
+        for value in (self.wrong_path_rate, self.dead_write_rate):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("masking rates must be probabilities")
+
+    @classmethod
+    def from_schedule(cls, schedule: PipelineSchedule) -> "MaskingProfile":
+        return cls(
+            wrong_path_rate=schedule.wrong_path_fp_fraction,
+            dead_write_rate=schedule.dead_fp_fraction,
+        )
+
+    @property
+    def total_rate(self) -> float:
+        """Probability an injected FP error never reaches software."""
+        return 1.0 - (1.0 - self.wrong_path_rate) * (1.0 - self.dead_write_rate)
+
+    def is_masked(self, victim: Victim, rng: RngStream) -> bool:
+        """Deterministically (per run-stream) resolve one victim.
+
+        The draw is tied to the run's RNG stream so a campaign re-run
+        reproduces every masking decision.
+        """
+        return bool(rng.random() < self.total_rate)

@@ -1,0 +1,190 @@
+"""Dynamic-trace synthesis around a workload's FP instruction stream.
+
+The workloads (``repro.workloads``) execute their real algorithms and
+stream real FP operations; the surrounding integer/memory/branch
+instructions — address arithmetic, loop control, loads/stores — determine
+pipeline behaviour but not FP values.  This module synthesises that
+surrounding stream from a per-benchmark :class:`TraceMix` (measured mixes
+of the original programs' flavours: stencil codes are load/store heavy,
+cg is branchy on sparse indices, is is integer-dominated), producing the
+deterministic :class:`TraceWindow` arrays the OoO core model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.fpu.formats import FpOp
+from repro.uarch.isa import CLASS_LATENCY, NUM_REGS, InstrClass
+from repro.utils.rng import RngStream
+
+
+@dataclass(frozen=True)
+class TraceMix:
+    """Instruction-mix shape of a benchmark.
+
+    ``ops_per_fp`` — non-FP dynamic instructions per FP instruction
+    (drives the Table II total-instruction scale); the four fractions
+    split those among classes (they need not sum to 1; the remainder is
+    INT_ALU).  ``branch_mispredict`` is the misprediction rate of the
+    synthetic branch stream.
+    """
+
+    ops_per_fp: float
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    branch_fraction: float = 0.12
+    branch_mispredict: float = 0.05
+
+    def __post_init__(self):
+        total = self.load_fraction + self.store_fraction + self.branch_fraction
+        if not 0.0 <= total <= 1.0:
+            raise ValueError("class fractions exceed 1.0")
+        if self.ops_per_fp < 0:
+            raise ValueError("ops_per_fp must be non-negative")
+
+
+#: Measured-flavour mixes per benchmark (see DESIGN.md for the rationale).
+MIXES: Dict[str, TraceMix] = {
+    "sobel": TraceMix(ops_per_fp=6.0, load_fraction=0.35, store_fraction=0.12,
+                      branch_fraction=0.10, branch_mispredict=0.02),
+    "cg": TraceMix(ops_per_fp=5.0, load_fraction=0.38, store_fraction=0.08,
+                   branch_fraction=0.14, branch_mispredict=0.06),
+    "kmeans": TraceMix(ops_per_fp=4.0, load_fraction=0.30, store_fraction=0.08,
+                       branch_fraction=0.16, branch_mispredict=0.08),
+    "srad_v1": TraceMix(ops_per_fp=5.0, load_fraction=0.34, store_fraction=0.12,
+                        branch_fraction=0.08, branch_mispredict=0.02),
+    "hotspot": TraceMix(ops_per_fp=4.5, load_fraction=0.36, store_fraction=0.12,
+                        branch_fraction=0.08, branch_mispredict=0.02),
+    "is": TraceMix(ops_per_fp=24.0, load_fraction=0.30, store_fraction=0.18,
+                   branch_fraction=0.14, branch_mispredict=0.10),
+    "mg": TraceMix(ops_per_fp=5.5, load_fraction=0.36, store_fraction=0.12,
+                   branch_fraction=0.07, branch_mispredict=0.03),
+    "default": TraceMix(ops_per_fp=5.0),
+}
+
+
+@dataclass
+class TraceWindow:
+    """Column-oriented dynamic instruction window.
+
+    ``cls`` holds :class:`InstrClass` codes; ``latency`` per-instruction
+    execution latency; ``dest``/``src1``/``src2`` register ids (negative =
+    none); ``fp_index`` the global FP-stream index for FP instructions
+    (-1 otherwise); ``mispredicted`` flags branches the synthetic
+    predictor misses.
+    """
+
+    cls: np.ndarray
+    latency: np.ndarray
+    dest: np.ndarray
+    src1: np.ndarray
+    src2: np.ndarray
+    fp_index: np.ndarray
+    mispredicted: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.cls.shape[0])
+
+    @property
+    def fp_count(self) -> int:
+        return int(np.count_nonzero(self.cls == int(InstrClass.FP)))
+
+
+def synthesize_trace(workload: str,
+                     fp_ops: List[FpOp],
+                     mix: Optional[TraceMix] = None,
+                     seed: int = 2021,
+                     max_window: int = 100_000) -> TraceWindow:
+    """Build a trace window interleaving ``fp_ops`` with synthetic filler.
+
+    ``fp_ops`` is the (possibly truncated) sequence of FP instruction
+    types the workload executes; at most ``max_window`` total instructions
+    are materialised (SimPoint-style window — the core model extrapolates
+    CPI beyond it).
+    """
+    mix = mix or MIXES.get(workload, MIXES["default"])
+    rng = RngStream(seed, f"trace/{workload}")
+
+    filler_per_fp = mix.ops_per_fp
+    n_fp_window = max(1, min(
+        len(fp_ops),
+        int(max_window / (1.0 + filler_per_fp)),
+    )) if fp_ops else 0
+
+    cls: List[int] = []
+    latency: List[int] = []
+    dest: List[int] = []
+    src1: List[int] = []
+    src2: List[int] = []
+    fp_index: List[int] = []
+    mispred: List[bool] = []
+
+    def emit(c: InstrClass, lat: int, d: int, s1: int, s2: int,
+             fpi: int = -1, mp: bool = False) -> None:
+        cls.append(int(c))
+        latency.append(lat)
+        dest.append(d)
+        src1.append(s1)
+        src2.append(s2)
+        fp_index.append(fpi)
+        mispred.append(mp)
+
+    carry = 0.0
+    recent_fp: List[int] = []
+    for i in range(n_fp_window):
+        carry += filler_per_fp
+        n_filler = int(carry)
+        carry -= n_filler
+        draws = rng.random(size=max(1, n_filler))
+        regs = rng.integers(0, NUM_REGS, size=3 * max(1, n_filler))
+        for j in range(n_filler):
+            r = draws[j]
+            d, s1, s2 = (int(regs[3 * j]), int(regs[3 * j + 1]),
+                         int(regs[3 * j + 2]))
+            if r < mix.load_fraction:
+                emit(InstrClass.LOAD, CLASS_LATENCY[InstrClass.LOAD], d, s1, -1)
+            elif r < mix.load_fraction + mix.store_fraction:
+                emit(InstrClass.STORE, CLASS_LATENCY[InstrClass.STORE],
+                     -1, s1, s2)
+            elif r < (mix.load_fraction + mix.store_fraction
+                      + mix.branch_fraction):
+                mp = bool(rng.random() < mix.branch_mispredict)
+                emit(InstrClass.BRANCH, CLASS_LATENCY[InstrClass.BRANCH],
+                     -1, s1, s2, mp=mp)
+            else:
+                emit(InstrClass.INT_ALU, CLASS_LATENCY[InstrClass.INT_ALU],
+                     d, s1, s2)
+        op = fp_ops[i]
+        # Realistic producer-consumer register allocation: destinations
+        # rotate through a working set and sources usually read recent
+        # producers (compilers keep FP lifetimes short but *used*); a
+        # small fraction of results is genuinely dead (speculative
+        # hoisting, unused lanes).
+        dest_reg = int(2 + (i % (NUM_REGS - 2)))
+        if rng.random() < 0.9 and recent_fp:
+            s1_reg = recent_fp[int(rng.integers(0, len(recent_fp)))]
+        else:
+            s1_reg = int(rng.integers(0, NUM_REGS))
+        if rng.random() < 0.6 and recent_fp:
+            s2_reg = recent_fp[int(rng.integers(0, len(recent_fp)))]
+        else:
+            s2_reg = int(rng.integers(0, NUM_REGS))
+        emit(InstrClass.FP, op.latency_cycles, dest_reg, s1_reg, s2_reg,
+             fpi=i)
+        recent_fp.append(dest_reg)
+        if len(recent_fp) > 6:
+            recent_fp.pop(0)
+
+    return TraceWindow(
+        cls=np.asarray(cls, dtype=np.int8),
+        latency=np.asarray(latency, dtype=np.int16),
+        dest=np.asarray(dest, dtype=np.int16),
+        src1=np.asarray(src1, dtype=np.int16),
+        src2=np.asarray(src2, dtype=np.int16),
+        fp_index=np.asarray(fp_index, dtype=np.int64),
+        mispredicted=np.asarray(mispred, dtype=bool),
+    )

@@ -1,0 +1,174 @@
+"""Bit-manipulation primitives used throughout the circuit and FPU layers.
+
+Scalar helpers operate on Python integers (arbitrary precision, masked to a
+stated width by the caller).  Vectorised helpers operate on ``numpy.uint64``
+arrays and are the workhorses of the dynamic-timing-analysis backend, where
+millions of operand pairs must be characterised per campaign.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MASK32 = 0xFFFF_FFFF
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+_U64 = np.uint64
+
+
+def popcount64(value: int) -> int:
+    """Number of set bits in the low 64 bits of ``value``."""
+    return bin(value & MASK64).count("1")
+
+
+def count_ones(array: np.ndarray) -> np.ndarray:
+    """Vectorised population count for ``uint64`` arrays.
+
+    Uses the classic SWAR (SIMD-within-a-register) reduction so it stays
+    allocation-light even for multi-million element arrays.
+    """
+    v = array.astype(np.uint64, copy=True)
+    v = v - ((v >> _U64(1)) & _U64(0x5555555555555555))
+    v = (v & _U64(0x3333333333333333)) + ((v >> _U64(2)) & _U64(0x3333333333333333))
+    v = (v + (v >> _U64(4))) & _U64(0x0F0F0F0F0F0F0F0F)
+    return ((v * _U64(0x0101010101010101)) >> _U64(56)).astype(np.int64)
+
+
+def bit_length64(array: np.ndarray) -> np.ndarray:
+    """Vectorised ``int.bit_length`` for ``uint64`` arrays (0 for zero)."""
+    v = array.astype(np.uint64, copy=True)
+    v |= v >> _U64(1)
+    v |= v >> _U64(2)
+    v |= v >> _U64(4)
+    v |= v >> _U64(8)
+    v |= v >> _U64(16)
+    v |= v >> _U64(32)
+    return count_ones(v)
+
+
+def extract_field(value: int, lo: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``lo`` (LSB = 0)."""
+    if width < 0 or lo < 0:
+        raise ValueError("lo and width must be non-negative")
+    return (value >> lo) & ((1 << width) - 1)
+
+
+def set_bits(value: int, lo: int, width: int, field: int) -> int:
+    """Return ``value`` with bits [lo, lo+width) replaced by ``field``."""
+    mask = ((1 << width) - 1) << lo
+    return (value & ~mask) | ((field << lo) & mask)
+
+
+def longest_carry_chain(a: int, b: int, width: int) -> int:
+    """Length of the longest carry-propagation chain when adding ``a + b``.
+
+    This is the quantity that determines the dynamic delay of a ripple/
+    parallel-prefix adder for a *specific* operand pair: a carry generated at
+    bit ``i`` (``a_i & b_i``) ripples through every consecutive propagate
+    position (``a_j ^ b_j``) above it.  The longest such run bounds the
+    settling time of the sum.
+    """
+    a &= (1 << width) - 1
+    b &= (1 << width) - 1
+    generate = a & b
+    propagate = a ^ b
+    longest = 0
+    run = 0
+    carry_alive = False
+    for i in range(width):
+        g = (generate >> i) & 1
+        p = (propagate >> i) & 1
+        if g:
+            carry_alive = True
+            run = 1
+        elif p and carry_alive:
+            run += 1
+        else:
+            carry_alive = False
+            run = 0
+        if run > longest:
+            longest = run
+    return longest
+
+
+def carry_chain_lengths(a: np.ndarray, b: np.ndarray, width: int = 64) -> np.ndarray:
+    """Vectorised longest-carry-chain over ``uint64`` operand arrays.
+
+    Runs in O(width) vector passes: a carry chain of length L exists iff a
+    generate bit is followed by L-1 consecutive propagate bits, which we find
+    by binary-doubling over the propagate mask.
+    """
+    a = a.astype(np.uint64, copy=False)
+    b = b.astype(np.uint64, copy=False)
+    mask = _U64(MASK64 if width >= 64 else (1 << width) - 1)
+    generate = (a & b) & mask
+    propagate = (a ^ b) & mask
+    # chain[i] = 1 where a carry is alive entering bit i+1.
+    lengths = np.zeros(a.shape, dtype=np.int64)
+    alive = generate
+    # Each iteration extends surviving chains by one propagate position.
+    step = np.ones(a.shape, dtype=np.int64)
+    current = np.where(alive != 0, step, 0)
+    lengths = current.copy()
+    for _ in range(width - 1):
+        alive = (alive << _U64(1)) & propagate
+        if not alive.any():
+            break
+        current = current + 1
+        # A chain is alive at this length wherever alive != 0; record max.
+        np.maximum(lengths, np.where(alive != 0, current, 0), out=lengths)
+    return lengths
+
+
+def carry_arrival_positions(a: np.ndarray, b: np.ndarray, width: int = 64) -> np.ndarray:
+    """Per-operand-pair highest bit position still receiving a late carry.
+
+    Returns, for each element, the most-significant bit index that the
+    longest carry chain terminates at (0 if no carries at all).  Late-settling
+    output bits cluster at and above this position, which is what makes
+    timing-error bitmasks *data dependent* and multi-bit.
+    """
+    a = a.astype(np.uint64, copy=False)
+    b = b.astype(np.uint64, copy=False)
+    mask = _U64(MASK64 if width >= 64 else (1 << width) - 1)
+    generate = (a & b) & mask
+    propagate = (a ^ b) & mask
+    alive = generate
+    last_alive = generate.copy()
+    for _ in range(width - 1):
+        alive = (alive << _U64(1)) & propagate
+        if not alive.any():
+            break
+        nz = alive != 0
+        last_alive = np.where(nz, alive, last_alive)
+    return np.where(last_alive != 0, bit_length64(last_alive) - 1, 0)
+
+
+def trailing_zeros64(array: np.ndarray) -> np.ndarray:
+    """Vectorised count-trailing-zeros for ``uint64`` arrays (64 for zero)."""
+    v = array.astype(np.uint64, copy=False)
+    isolated = v & (~v + _U64(1))
+    out = bit_length64(isolated) - 1
+    return np.where(v == 0, 64, out)
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``."""
+    out = 0
+    for i in range(width):
+        out = (out << 1) | ((value >> i) & 1)
+    return out
+
+
+def bits_of(value: int, width: int) -> list:
+    """Little-endian list of the low ``width`` bits of ``value``."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits) -> int:
+    """Inverse of :func:`bits_of`: little-endian bit list to integer."""
+    out = 0
+    for i, b in enumerate(bits):
+        if b:
+            out |= 1 << i
+    return out

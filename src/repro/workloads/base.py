@@ -1,0 +1,324 @@
+"""Workload infrastructure: FP interposition, budgets, classification.
+
+:class:`FPContext` is the boundary between guest algorithms and the FPU:
+all floating-point arithmetic of a benchmark flows through it, element by
+element in dynamic-instruction order (vector calls count one dynamic FP
+instruction per element).  The context
+
+- counts the per-type dynamic instruction stream,
+- optionally records operand bit patterns (the WA characterisation trace),
+- applies injection bitmasks to the destination values of victim dynamic
+  instructions, and
+- enforces the 2x-golden execution budget that implements the paper's
+  Timeout category, plus optional FP-exception trapping (a Crash source).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors.base import WorkloadProfile
+from repro.fpu.formats import FpOp
+from repro.utils import ieee754
+
+
+class GuestCrash(Exception):
+    """The guest program hit an unrecoverable condition (process crash)."""
+
+
+class GuestFpException(GuestCrash):
+    """A floating-point exception terminated the guest (paper: Crash)."""
+
+
+class GuestTimeout(Exception):
+    """The guest exceeded 2x the error-free execution budget."""
+
+
+_BINARY_FNS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.divide,
+}
+
+
+class FPContext:
+    """FP interposition layer between a guest algorithm and the FPU."""
+
+    def __init__(
+        self,
+        corruption: Optional[Dict[FpOp, Dict[int, int]]] = None,
+        record_trace: bool = False,
+        trace_cap: int = 1_000_000,
+        op_budget: Optional[int] = None,
+        trap_nonfinite: bool = False,
+        sequence_cap: int = 40_000,
+    ):
+        self.corruption = corruption or {}
+        self.record_trace = record_trace
+        self.trace_cap = trace_cap
+        self.op_budget = op_budget
+        self.trap_nonfinite = trap_nonfinite
+        self.sequence_cap = sequence_cap
+
+        self.counters: Dict[FpOp, int] = {op: 0 for op in FpOp}
+        self.ops_executed = 0
+        self.corrupted_events = 0
+        self._armed = False  # a corruption has landed; start trap checks
+        self._trace_a: Dict[FpOp, List[np.ndarray]] = {}
+        self._trace_b: Dict[FpOp, List[np.ndarray]] = {}
+        self._trace_len: Dict[FpOp, int] = {}
+        self.op_sequence: List[Tuple[FpOp, int]] = []  # run-length encoded
+
+    # -- public arithmetic API (double precision) ---------------------------------
+    def add(self, a, b):
+        return self._binary(FpOp.ADD_D, a, b)
+
+    def sub(self, a, b):
+        return self._binary(FpOp.SUB_D, a, b)
+
+    def mul(self, a, b):
+        return self._binary(FpOp.MUL_D, a, b)
+
+    def div(self, a, b):
+        return self._binary(FpOp.DIV_D, a, b)
+
+    def i2f(self, values):
+        return self._conv(FpOp.I2F_D, values)
+
+    def f2i(self, values):
+        return self._conv(FpOp.F2I_D, values)
+
+    # Single-precision variants (operands rounded to binary32 first).
+    def add_s(self, a, b):
+        return self._binary(FpOp.ADD_S, a, b)
+
+    def sub_s(self, a, b):
+        return self._binary(FpOp.SUB_S, a, b)
+
+    def mul_s(self, a, b):
+        return self._binary(FpOp.MUL_S, a, b)
+
+    def div_s(self, a, b):
+        return self._binary(FpOp.DIV_S, a, b)
+
+    # Reductions built from the primitive stream.
+    def sum(self, values):
+        """Sequential-tree sum through the FPU add stream."""
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        while arr.size > 1:
+            half = arr.size // 2
+            paired = self.add(arr[:half], arr[half:2 * half])
+            if arr.size % 2:
+                arr = np.concatenate([np.atleast_1d(paired),
+                                      arr[2 * half:]])
+            else:
+                arr = np.atleast_1d(paired)
+        return float(arr[0]) if arr.size else 0.0
+
+    def dot(self, a, b):
+        """Dot product: elementwise multiplies + tree sum."""
+        return self.sum(self.mul(a, b))
+
+    # -- internals --------------------------------------------------------------
+    def _charge(self, op: FpOp, n: int) -> int:
+        start = self.counters[op]
+        self.counters[op] = start + n
+        self.ops_executed += n
+        if self.op_budget is not None and self.ops_executed > self.op_budget:
+            raise GuestTimeout(
+                f"exceeded budget of {self.op_budget} FP operations"
+            )
+        if self.op_sequence and self.op_sequence[-1][0] is op:
+            last_op, last_n = self.op_sequence[-1]
+            self.op_sequence[-1] = (last_op, last_n + n)
+        elif len(self.op_sequence) < self.sequence_cap:
+            self.op_sequence.append((op, n))
+        return start
+
+    def _record(self, op: FpOp, a_bits: np.ndarray,
+                b_bits: Optional[np.ndarray]) -> None:
+        kept = self._trace_len.get(op, 0)
+        if kept >= self.trace_cap:
+            return
+        room = self.trace_cap - kept
+        self._trace_a.setdefault(op, []).append(a_bits[:room].copy())
+        if b_bits is not None:
+            self._trace_b.setdefault(op, []).append(b_bits[:room].copy())
+        self._trace_len[op] = kept + min(room, a_bits.size)
+
+    def _apply_corruption(self, op: FpOp, start: int,
+                          result_bits: np.ndarray) -> bool:
+        victims = self.corruption.get(op)
+        if not victims:
+            return False
+        n = result_bits.size
+        touched = False
+        for index, mask in victims.items():
+            offset = index - start
+            if 0 <= offset < n:
+                result_bits[offset] ^= np.uint64(mask)
+                self.corrupted_events += 1
+                touched = True
+        return touched
+
+    def _trap_check(self, values: np.ndarray) -> None:
+        if self.trap_nonfinite and self._armed:
+            if not np.isfinite(values).all():
+                raise GuestFpException("non-finite value raised SIGFPE")
+
+    def _binary(self, op: FpOp, a, b):
+        a_arr, b_arr = np.broadcast_arrays(
+            np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+        )
+        scalar = a_arr.ndim == 0
+        a_flat = np.atleast_1d(a_arr).ravel()
+        b_flat = np.atleast_1d(b_arr).ravel()
+        n = a_flat.size
+        start = self._charge(op, n)
+
+        single = not op.is_double
+        if single:
+            a_flat = a_flat.astype(np.float32)
+            b_flat = b_flat.astype(np.float32)
+        with np.errstate(all="ignore"):
+            result = _BINARY_FNS[op.kind](a_flat, b_flat)
+
+        if self.record_trace:
+            if single:
+                self._record(op, ieee754.floats_to_bits32(a_flat).astype(np.uint64),
+                             ieee754.floats_to_bits32(b_flat).astype(np.uint64))
+            else:
+                self._record(op, a_flat.view(np.uint64),
+                             b_flat.view(np.uint64))
+
+        if self.corruption.get(op):
+            if single:
+                bits = result.view(np.uint32).astype(np.uint64)
+                if self._apply_corruption(op, start, bits):
+                    result = bits.astype(np.uint32).view(np.float32)
+                    self._armed = True
+            else:
+                bits = result.view(np.uint64)
+                if self._apply_corruption(op, start, bits):
+                    self._armed = True
+                result = bits.view(np.float64)
+
+        result = result.astype(np.float64)
+        self._trap_check(result)
+        out = result.reshape(a_arr.shape) if not scalar else result[0]
+        return out
+
+    def _conv(self, op: FpOp, values):
+        shaped = np.asarray(values)
+        scalar = shaped.ndim == 0
+        arr = np.atleast_1d(shaped).ravel()
+        n = arr.size
+        start = self._charge(op, n)
+        if op.kind == "i2f":
+            src = arr.astype(np.int64)
+            if self.record_trace:
+                self._record(op, src.view(np.uint64), None)
+            result = src.astype(np.float64)
+            bits = result.view(np.uint64)
+            if self._apply_corruption(op, start, bits):
+                self._armed = True
+            result = bits.view(np.float64)
+            self._trap_check(result)
+            return result[0] if scalar else result.reshape(shaped.shape)
+        # f2i: round toward zero, saturating (matches the FPU semantics).
+        src = arr.astype(np.float64)
+        if self.record_trace:
+            self._record(op, src.view(np.uint64), None)
+        with np.errstate(all="ignore"):
+            clipped = np.where(np.isnan(src), 0.0,
+                               np.clip(src, -2.0**62, 2.0**62))
+            result = np.trunc(clipped).astype(np.int64)
+        bits = result.view(np.uint64)
+        if self._apply_corruption(op, start, bits):
+            self._armed = True
+        result = bits.view(np.int64)
+        return int(result[0]) if scalar else result.reshape(shaped.shape)
+
+    # -- profile extraction ---------------------------------------------------------
+    def profile(self, name: str, ops_per_fp: float) -> WorkloadProfile:
+        """Summarise the run into a :class:`WorkloadProfile` (golden runs)."""
+        trace: Dict[FpOp, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+        for op, chunks in self._trace_a.items():
+            a_bits = np.concatenate(chunks) if chunks else np.zeros(0, np.uint64)
+            b_chunks = self._trace_b.get(op)
+            b_bits = np.concatenate(b_chunks) if b_chunks else None
+            trace[op] = (a_bits, b_bits)
+        counts = {op: n for op, n in self.counters.items() if n > 0}
+        fp_total = sum(counts.values())
+        return WorkloadProfile(
+            name=name,
+            counts_by_op=counts,
+            trace_by_op=trace,
+            total_instructions=int(round(fp_total * (1.0 + ops_per_fp))),
+        )
+
+    def fp_op_sequence(self, limit: int = 100_000) -> List[FpOp]:
+        """Expand the run-length encoded op sequence (for trace synthesis)."""
+        out: List[FpOp] = []
+        for op, n in self.op_sequence:
+            take = min(n, limit - len(out))
+            out.extend([op] * take)
+            if len(out) >= limit:
+                break
+        return out
+
+
+class Workload(abc.ABC):
+    """One Table II benchmark.
+
+    Subclasses build a deterministic input at construction, implement
+    :meth:`run` entirely through the supplied :class:`FPContext`, and
+    define :meth:`outputs_equal` per their Table II classification
+    criterion.
+    """
+
+    #: Table II name, input descriptor and classification criterion.
+    name: str = "?"
+    classification = "Output comparison"
+    #: Key into repro.uarch.trace.MIXES.
+    mix_name: str = "default"
+    #: Whether the guest runs with FP-exception trapping (Crash source).
+    trap_nonfinite: bool = False
+
+    def __init__(self, scale: str = "paper", seed: int = 2021):
+        if scale not in ("tiny", "small", "paper"):
+            raise ValueError(f"unknown scale {scale!r}")
+        self.scale = scale
+        self.seed = seed
+        self.input_descriptor = ""
+        self._build_input()
+
+    @abc.abstractmethod
+    def _build_input(self) -> None:
+        """Create the deterministic input arrays for the chosen scale."""
+
+    @abc.abstractmethod
+    def run(self, ctx: FPContext):
+        """Execute the benchmark through ``ctx``; return its output."""
+
+    @abc.abstractmethod
+    def outputs_equal(self, golden, observed) -> bool:
+        """Table II classification: does the output verify against golden?"""
+
+    @property
+    def ops_per_fp(self) -> float:
+        from repro.uarch.trace import MIXES
+
+        return MIXES.get(self.mix_name, MIXES["default"]).ops_per_fp
+
+    def make_context(self, **kwargs) -> FPContext:
+        kwargs.setdefault("trap_nonfinite", self.trap_nonfinite)
+        return FPContext(**kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(scale={self.scale!r})"

@@ -1,0 +1,159 @@
+"""bt: NAS Block-Tridiagonal kernel (mentioned in Section IV.A's text).
+
+The paper's benchmark list names ``bt`` alongside cg/is/mg (its Table II
+prints srad_v1 in that slot; we provide both).  This is the computational
+heart of NAS BT at laptop scale: solving block-tridiagonal systems with
+5x5 blocks along grid lines via block Thomas elimination — forward
+elimination with small-matrix inverses (divide-heavy) and back
+substitution (multiply/add-heavy).  Verification checks the solution
+residual, NAS style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngStream
+from repro.workloads.base import FPContext, GuestCrash, Workload
+
+_SCALES = {
+    # (number of lines, cells per line) with 5x5 blocks
+    "tiny": (2, 6),
+    "small": (3, 10),
+    "paper": (5, 16),
+}
+
+_BLOCK = 5
+
+
+class BlockTridiagonal(Workload):
+    name = "bt"
+    classification = "Verification checking"
+    mix_name = "default"
+    trap_nonfinite = True
+
+    def _build_input(self) -> None:
+        self.lines, self.cells = _SCALES[self.scale]
+        rng = RngStream(self.seed, "input/bt")
+        n, k = self.cells, _BLOCK
+        # Diagonally dominant block-tridiagonal systems per line.
+        self.lower = rng.generator.normal(0.0, 0.2, (self.lines, n, k, k))
+        self.upper = rng.generator.normal(0.0, 0.2, (self.lines, n, k, k))
+        self.diag = rng.generator.normal(0.0, 0.3, (self.lines, n, k, k))
+        eye = np.eye(k) * (2.0 + np.arange(k) * 0.25)
+        self.diag += eye[None, None]
+        self.rhs = rng.generator.normal(0.0, 1.0, (self.lines, n, k))
+        self.input_descriptor = (
+            f"{self.lines} lines x {self.cells} cells, 5x5 blocks"
+        )
+
+    # -- small dense kernels through the FPU stream -----------------------------
+    def _matmul(self, ctx: FPContext, a: np.ndarray, b: np.ndarray
+                ) -> np.ndarray:
+        """5x5 (or 5xK) matrix product via FPU multiply/add."""
+        products = ctx.mul(a[:, :, None], b[None, :, :])
+        acc = products[:, 0, :]
+        for j in range(1, a.shape[1]):
+            acc = ctx.add(acc, products[:, j, :])
+        return acc
+
+    def _matvec(self, ctx: FPContext, a: np.ndarray, x: np.ndarray
+                ) -> np.ndarray:
+        products = ctx.mul(a, x[None, :])
+        acc = products[:, 0]
+        for j in range(1, a.shape[1]):
+            acc = ctx.add(acc, products[:, j])
+        return acc
+
+    def _solve_block(self, ctx: FPContext, a: np.ndarray, b: np.ndarray
+                     ) -> np.ndarray:
+        """Solve the 5x5 system a x = b by Gaussian elimination (FPU ops).
+
+        ``b`` may be a vector (5,) or a block (5, m).
+        """
+        m = a.copy()
+        rhs = b.copy() if b.ndim == 2 else b[:, None].copy()
+        k = _BLOCK
+        for col in range(k):
+            pivot = m[col, col]
+            if pivot == 0.0 or not np.isfinite(pivot):
+                raise GuestCrash("BT: singular pivot in block solve")
+            inv = ctx.div(1.0, pivot)
+            m[col] = ctx.mul(m[col], inv)
+            rhs[col] = ctx.mul(rhs[col], inv)
+            for row in range(k):
+                if row == col:
+                    continue
+                factor = m[row, col]
+                if factor == 0.0:
+                    continue
+                m[row] = ctx.sub(m[row], ctx.mul(m[col], factor))
+                rhs[row] = ctx.sub(rhs[row], ctx.mul(rhs[col], factor))
+        return rhs if b.ndim == 2 else rhs[:, 0]
+
+    def _solve_line(self, ctx: FPContext, line: int) -> np.ndarray:
+        """Block Thomas algorithm along one grid line."""
+        n = self.cells
+        c_prime = np.zeros((n, _BLOCK, _BLOCK))
+        d_prime = np.zeros((n, _BLOCK))
+        diag0 = self.diag[line, 0]
+        c_prime[0] = self._solve_block(ctx, diag0, self.upper[line, 0])
+        d_prime[0] = self._solve_block(ctx, diag0, self.rhs[line, 0])
+        for i in range(1, n):
+            denom = ctx.sub(
+                self.diag[line, i],
+                self._matmul(ctx, self.lower[line, i], c_prime[i - 1]),
+            )
+            rhs_i = ctx.sub(
+                self.rhs[line, i],
+                self._matvec(ctx, self.lower[line, i], d_prime[i - 1]),
+            )
+            if i < n - 1:
+                c_prime[i] = self._solve_block(ctx, denom,
+                                               self.upper[line, i])
+            d_prime[i] = self._solve_block(ctx, denom, rhs_i)
+        x = np.zeros((n, _BLOCK))
+        x[n - 1] = d_prime[n - 1]
+        for i in range(n - 2, -1, -1):
+            x[i] = ctx.sub(d_prime[i],
+                           self._matvec(ctx, c_prime[i], x[i + 1]))
+        return x
+
+    def _residual_norm(self, ctx: FPContext, line: int,
+                       x: np.ndarray) -> float:
+        n = self.cells
+        total = 0.0
+        for i in range(n):
+            r = ctx.sub(self._matvec(ctx, self.diag[line, i], x[i]),
+                        self.rhs[line, i])
+            if i > 0:
+                r = ctx.add(r, self._matvec(ctx, self.lower[line, i],
+                                            x[i - 1]))
+            if i < n - 1:
+                r = ctx.add(r, self._matvec(ctx, self.upper[line, i],
+                                            x[i + 1]))
+            total = ctx.add(total, ctx.sum(ctx.mul(r, r)))
+        return float(total)
+
+    def run(self, ctx: FPContext):
+        """Returns (residual norm, solution checksum), NAS-verification style."""
+        norm = 0.0
+        checksum = 0.0
+        for line in range(self.lines):
+            x = self._solve_line(ctx, line)
+            norm = ctx.add(norm, self._residual_norm(ctx, line, x))
+            checksum = ctx.add(checksum, ctx.sum(x))
+        if not np.isfinite(norm) or norm < 0.0:
+            raise GuestCrash("BT verification norm degenerate")
+        if not np.isfinite(checksum):
+            raise GuestCrash("BT solution checksum degenerate")
+        return float(norm), float(checksum)
+
+    def outputs_equal(self, golden, observed) -> bool:
+        g_norm, g_sum = golden
+        o_norm, o_sum = observed
+        if not (np.isfinite(o_norm) and np.isfinite(o_sum)):
+            return False
+        norm_ok = abs(o_norm - g_norm) <= 1e-12 * max(1.0, abs(g_norm))
+        sum_ok = abs(o_sum - g_sum) <= 1e-12 * max(1.0, abs(g_sum))
+        return norm_ok and sum_ok

@@ -1,0 +1,104 @@
+"""cg: NAS conjugate-gradient kernel (Table II, classification: verification).
+
+Structure follows NAS CG: outer iterations estimate the smallest
+eigenvalue of a sparse SPD matrix via inverse power iteration, each outer
+step solving A z = x with unpreconditioned conjugate gradient.  The
+verification value is the eigenvalue estimate zeta, checked against the
+golden run within the NAS tolerance — the paper's "verification checking"
+criterion.  Runs with FP-exception trapping (HPC build), so corrupted
+exponents that overflow crash the run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import inputs
+from repro.workloads.base import FPContext, GuestCrash, Workload
+
+_SCALES = {
+    # (n, density, outer iterations, cg iterations)
+    "tiny": (48, 0.06, 2, 6),
+    "small": (96, 0.05, 3, 10),
+    "paper": (192, 0.04, 4, 15),
+}
+
+_TOLERANCE = 1e-10
+
+
+class ConjugateGradient(Workload):
+    name = "cg"
+    classification = "Verification checking"
+    mix_name = "cg"
+    trap_nonfinite = True
+
+    def _build_input(self) -> None:
+        n, density, self.outer, self.inner = _SCALES[self.scale]
+        (self.row_ptr, self.col_idx,
+         self.values, self.b) = inputs.spd_sparse_system(n, density, self.seed)
+        self.n = n
+        self.input_descriptor = f"n={n} nnz={self.values.size}"
+        # ELLPACK layout: rows padded to uniform width so the sparse
+        # kernel vectorises (padding entries multiply by zero).
+        widths = np.diff(self.row_ptr)
+        k = int(widths.max())
+        self.ell_values = np.zeros((n, k))
+        self.ell_cols = np.zeros((n, k), dtype=np.int64)
+        for i in range(n):
+            lo, hi = self.row_ptr[i], self.row_ptr[i + 1]
+            self.ell_values[i, : hi - lo] = self.values[lo:hi]
+            self.ell_cols[i, : hi - lo] = self.col_idx[lo:hi]
+
+    def _spmv(self, ctx: FPContext, x: np.ndarray) -> np.ndarray:
+        """ELL sparse matrix-vector product through the FPU."""
+        prods = ctx.mul(self.ell_values, x[self.ell_cols])
+        while prods.shape[1] > 1:
+            half = prods.shape[1] // 2
+            folded = ctx.add(prods[:, :half], prods[:, half:2 * half])
+            if prods.shape[1] % 2:
+                prods = np.concatenate([folded, prods[:, 2 * half:]], axis=1)
+            else:
+                prods = folded
+        return prods[:, 0]
+
+    def _cg_solve(self, ctx: FPContext, rhs: np.ndarray) -> np.ndarray:
+        z = np.zeros(self.n)
+        r = rhs.copy()
+        p = r.copy()
+        rho = ctx.dot(r, r)
+        for _ in range(self.inner):
+            q = self._spmv(ctx, p)
+            denom = ctx.dot(p, q)
+            if denom == 0.0 or not np.isfinite(denom):
+                raise GuestCrash("CG breakdown: p^T A p is singular")
+            alpha = ctx.div(rho, denom)
+            z = ctx.add(z, ctx.mul(p, alpha))
+            r = ctx.sub(r, ctx.mul(q, alpha))
+            rho_new = ctx.dot(r, r)
+            beta = ctx.div(rho_new, rho) if rho != 0.0 else 0.0
+            if not np.isfinite(beta):
+                raise GuestCrash("CG breakdown: beta overflow")
+            p = ctx.add(r, ctx.mul(p, beta))
+            rho = rho_new
+        return z
+
+    def run(self, ctx: FPContext) -> float:
+        x = self.b / np.linalg.norm(self.b)
+        zeta = 0.0
+        shift = 10.0
+        for _ in range(self.outer):
+            z = self._cg_solve(ctx, x)
+            xz = ctx.dot(x, z)
+            if xz == 0.0 or not np.isfinite(xz):
+                raise GuestCrash("CG verification product degenerate")
+            zeta = shift + float(ctx.div(1.0, xz))
+            norm = ctx.dot(z, z)
+            if norm <= 0.0 or not np.isfinite(norm):
+                raise GuestCrash("CG normalisation degenerate")
+            x = z / np.sqrt(norm)
+        return zeta
+
+    def outputs_equal(self, golden, observed) -> bool:
+        if not np.isfinite(observed):
+            return False
+        return abs(observed - golden) <= _TOLERANCE * max(1.0, abs(golden))

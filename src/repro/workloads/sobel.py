@@ -1,0 +1,62 @@
+"""sobel: edge-detection filter (Table II row 1, classification: Image Output).
+
+Faithful reimplementation of the open-source Sobel filter the paper uses:
+3x3 Gx/Gy convolutions, gradient magnitude (|gx| + |gy|, the integer-
+friendly norm of the reference implementation), clamp to 8 bits.  Every
+multiply/add runs through the FPContext, so a corrupted pixel propagates
+into neighbouring output pixels exactly as in the real filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import inputs
+from repro.workloads.base import FPContext, Workload
+
+_SCALES = {"tiny": (24, 32), "small": (40, 64), "paper": (64, 96)}
+
+_GX = ((-1.0, 0.0, 1.0), (-2.0, 0.0, 2.0), (-1.0, 0.0, 1.0))
+_GY = ((-1.0, -2.0, -1.0), (0.0, 0.0, 0.0), (1.0, 2.0, 1.0))
+
+
+class Sobel(Workload):
+    name = "sobel"
+    classification = "Image Output"
+    mix_name = "sobel"
+    trap_nonfinite = False
+
+    def _build_input(self) -> None:
+        height, width = _SCALES[self.scale]
+        self.image = inputs.synthetic_image(height, width, self.seed,
+                                            name="sobel")
+        self.input_descriptor = f"{height} x {width}"
+
+    def _convolve(self, ctx: FPContext, kernel) -> np.ndarray:
+        image = self.image
+        height, width = image.shape
+        acc = np.zeros((height - 2, width - 2))
+        first = True
+        for dy in range(3):
+            for dx in range(3):
+                w = kernel[dy][dx]
+                if w == 0.0:
+                    continue
+                window = image[dy:dy + height - 2, dx:dx + width - 2]
+                term = ctx.mul(window, w)
+                acc = term if first else ctx.add(acc, term)
+                first = False
+        return acc
+
+    def run(self, ctx: FPContext) -> np.ndarray:
+        gx = self._convolve(ctx, _GX)
+        gy = self._convolve(ctx, _GY)
+        # |gx| + |gy| via FPU subtract-select (abs is sign-bit only, free).
+        magnitude = ctx.add(np.abs(gx), np.abs(gy))
+        # Clamp to 8-bit output through the FPU's f2i path.
+        pixels = ctx.f2i(magnitude)
+        return np.clip(pixels, 0, 255).astype(np.uint8)
+
+    def outputs_equal(self, golden, observed) -> bool:
+        return (golden.shape == observed.shape
+                and bool(np.array_equal(golden, observed)))

@@ -1,0 +1,66 @@
+"""Tests for code-region vulnerability attribution."""
+
+import pytest
+
+from repro.campaign.outcomes import Outcome
+from repro.campaign.regions import RegionAnalyzer, region_report_text
+from repro.circuit.liberty import VR15, VR20
+
+
+@pytest.fixture(scope="module")
+def srad_analyzer(tiny_runners, wa_models):
+    return RegionAnalyzer(tiny_runners["srad_v1"], wa_models["srad_v1"],
+                          phases=4)
+
+
+class TestRegionAnalyzer:
+    def test_phase_spans_cover_stream(self, srad_analyzer, tiny_profiles):
+        reports = srad_analyzer.analyze(VR20, runs_per_phase=10)
+        assert len(reports) == 4
+        assert reports[0].span[0] == 0
+        assert reports[-1].span[1] == (
+            tiny_profiles["srad_v1"].fp_instructions
+        )
+        for a, b in zip(reports, reports[1:]):
+            assert a.span[1] == b.span[0]
+
+    def test_fault_population_partitioned(self, srad_analyzer, wa_models):
+        reports = srad_analyzer.analyze(VR20, runs_per_phase=5)
+        total = sum(r.faulty_instructions for r in reports)
+        model_total = wa_models["srad_v1"].faulty_population(VR20)
+        assert total == model_total
+
+    def test_type_attribution_sums(self, srad_analyzer):
+        reports = srad_analyzer.analyze(VR20, runs_per_phase=5)
+        for report in reports:
+            assert sum(report.by_type.values()) == (
+                report.faulty_instructions
+            )
+
+    def test_empty_phase_is_structurally_safe(self, tiny_runners,
+                                              wa_models):
+        analyzer = RegionAnalyzer(tiny_runners["hotspot"],
+                                  wa_models["hotspot"], phases=3)
+        reports = analyzer.analyze(VR15, runs_per_phase=8)
+        for report in reports:
+            assert report.faulty_instructions == 0
+            assert report.avm == 0.0
+            assert report.counts.total == 8
+
+    def test_counts_sized_by_runs(self, srad_analyzer):
+        reports = srad_analyzer.analyze(VR20, runs_per_phase=12)
+        assert all(r.counts.total == 12 for r in reports)
+
+    def test_deterministic(self, srad_analyzer):
+        a = srad_analyzer.analyze(VR20, runs_per_phase=8, seed=5)
+        b = srad_analyzer.analyze(VR20, runs_per_phase=8, seed=5)
+        assert [r.counts.counts for r in a] == [r.counts.counts for r in b]
+
+    def test_invalid_phases(self, tiny_runners, wa_models):
+        with pytest.raises(ValueError):
+            RegionAnalyzer(tiny_runners["cg"], wa_models["cg"], phases=0)
+
+    def test_report_text(self, srad_analyzer, tiny_runners):
+        reports = srad_analyzer.analyze(VR20, runs_per_phase=8)
+        text = region_report_text("srad_v1", VR20, reports)
+        assert "phase 0" in text and "protect phase" in text

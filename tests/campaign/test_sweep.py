@@ -1,0 +1,67 @@
+"""Tests for voltage sweeps and Vmin search."""
+
+import pytest
+
+from repro.campaign.sweep import SweepRunner, VoltageSweep, sweep_energy_report
+from repro.circuit.liberty import NOMINAL, TECHNOLOGY
+
+
+@pytest.fixture(scope="module")
+def hotspot_sweeper(tiny_runners):
+    return SweepRunner(tiny_runners["hotspot"], runs=30)
+
+
+class TestSweep:
+    def test_error_free_points_skip_campaigns(self, hotspot_sweeper):
+        sweep = hotspot_sweeper.sweep([0.10, 0.15])
+        for step in sweep.steps:
+            assert step.error_free
+            assert step.avm == 0.0
+            assert step.result is None
+
+    def test_deeper_reduction_adds_errors(self, hotspot_sweeper):
+        sweep = hotspot_sweeper.sweep([0.15, 0.20, 0.25])
+        by_name = {s.point.name: s for s in sweep.steps}
+        assert by_name["VR15"].error_free
+        assert not by_name["VR20"].error_free
+        assert by_name["VR25"].error_ratio >= by_name["VR20"].error_ratio
+
+    def test_safe_minimum(self, hotspot_sweeper):
+        sweep = hotspot_sweeper.sweep([0.10, 0.15, 0.20])
+        vmin = sweep.safe_minimum()
+        assert vmin.name == "VR15"
+
+    def test_safe_minimum_falls_back_to_nominal(self):
+        sweep = VoltageSweep(workload="x")
+        assert sweep.safe_minimum() is NOMINAL
+
+    def test_monotone_avm(self, hotspot_sweeper):
+        sweep = hotspot_sweeper.sweep([0.10, 0.15, 0.20])
+        assert sweep.monotone_avm()
+
+    def test_report(self, hotspot_sweeper):
+        sweep = hotspot_sweeper.sweep([0.15, 0.20])
+        text = sweep_energy_report(sweep)
+        assert "hotspot" in text and "AVM-safe minimum" in text
+        assert "VR20" in text
+
+
+class TestVminSearch:
+    def test_bisection_finds_hotspot_window(self, hotspot_sweeper):
+        vmin = hotspot_sweeper.find_vmin(lo_reduction=0.0,
+                                         hi_reduction=0.30,
+                                         resolution=0.02)
+        # hotspot is error-free at 15% but not at 20%: Vmin in between.
+        reduction = 1.0 - vmin.voltage / TECHNOLOGY.nominal_voltage
+        assert 0.10 <= reduction < 0.22
+
+    def test_unsafe_at_lo_returns_nominal(self, tiny_runners):
+        sweeper = SweepRunner(tiny_runners["mg"], runs=20)
+        vmin = sweeper.find_vmin(lo_reduction=0.14, hi_reduction=0.20,
+                                 resolution=0.02)
+        # mg already shows trace errors at 14-15%: no safe window there.
+        assert vmin is NOMINAL or vmin.voltage >= 0.935
+
+    def test_invalid_bounds(self, hotspot_sweeper):
+        with pytest.raises(ValueError):
+            hotspot_sweeper.find_vmin(lo_reduction=0.3, hi_reduction=0.1)

@@ -1,0 +1,106 @@
+"""Tests for the standard-cell library."""
+
+import itertools
+
+import pytest
+
+from repro.circuit.cells import Cell, CellLibrary, LIBRARY, default_library
+
+
+def _truth(cell, arity):
+    return {
+        bits: cell.evaluate(bits)
+        for bits in itertools.product((0, 1), repeat=arity)
+    }
+
+
+class TestLogicFunctions:
+    @pytest.mark.parametrize("name,fn", [
+        ("INV", lambda a: 1 - a),
+        ("BUF", lambda a: a),
+    ])
+    def test_unary(self, name, fn):
+        cell = LIBRARY[name]
+        for a in (0, 1):
+            assert cell.evaluate((a,)) == fn(a)
+
+    @pytest.mark.parametrize("name,fn", [
+        ("NAND2", lambda a, b: 1 - (a & b)),
+        ("NOR2", lambda a, b: 1 - (a | b)),
+        ("AND2", lambda a, b: a & b),
+        ("OR2", lambda a, b: a | b),
+        ("XOR2", lambda a, b: a ^ b),
+        ("XNOR2", lambda a, b: 1 - (a ^ b)),
+    ])
+    def test_binary(self, name, fn):
+        cell = LIBRARY[name]
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert cell.evaluate((a, b)) == fn(a, b)
+
+    @pytest.mark.parametrize("name,fn", [
+        ("NAND3", lambda a, b, c: 1 - (a & b & c)),
+        ("NOR3", lambda a, b, c: 1 - (a | b | c)),
+        ("AND3", lambda a, b, c: a & b & c),
+        ("OR3", lambda a, b, c: a | b | c),
+        ("XOR3", lambda a, b, c: a ^ b ^ c),
+        ("MAJ3", lambda a, b, c: (a & b) | (b & c) | (a & c)),
+        ("AOI21", lambda a, b, c: 1 - ((a & b) | c)),
+        ("OAI21", lambda a, b, c: 1 - ((a | b) & c)),
+    ])
+    def test_ternary(self, name, fn):
+        cell = LIBRARY[name]
+        for bits in itertools.product((0, 1), repeat=3):
+            assert cell.evaluate(bits) == fn(*bits)
+
+    def test_mux2_selects(self):
+        mux = LIBRARY["MUX2"]
+        for d0, d1 in itertools.product((0, 1), repeat=2):
+            assert mux.evaluate((d0, d1, 0)) == d0
+            assert mux.evaluate((d0, d1, 1)) == d1
+
+    def test_tie_cells(self):
+        assert LIBRARY["TIE0"].evaluate(()) == 0
+        assert LIBRARY["TIE1"].evaluate(()) == 1
+
+    def test_dff_passthrough(self):
+        assert LIBRARY["DFF"].evaluate((1,)) == 1
+        assert LIBRARY["DFF"].sequential
+
+
+class TestDelays:
+    def test_all_combinational_delays_positive(self):
+        for cell in LIBRARY:
+            if cell.inputs > 0 and not cell.sequential:
+                assert cell.delay_ps > 0
+
+    def test_xor_slower_than_nand(self):
+        """Relative cell-delay ordering that shapes datapath criticality."""
+        assert LIBRARY["XOR2"].delay_ps > LIBRARY["NAND2"].delay_ps
+        assert LIBRARY["XOR3"].delay_ps > LIBRARY["XOR2"].delay_ps
+
+    def test_fa_sum_slower_than_carry(self):
+        assert LIBRARY["XOR3"].delay_ps > LIBRARY["MAJ3"].delay_ps
+
+
+class TestLibraryContainer:
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LIBRARY["NAND2"].evaluate((1,))
+
+    def test_unknown_cell(self):
+        with pytest.raises(KeyError):
+            LIBRARY["FOO42"]
+
+    def test_contains(self):
+        assert "INV" in LIBRARY
+        assert "FOO" not in LIBRARY
+
+    def test_duplicate_add_rejected(self):
+        library = default_library()
+        with pytest.raises(ValueError):
+            library.add(Cell("INV", 1, lambda v: 1 - v[0], 1.0))
+
+    def test_len_and_names(self):
+        library = default_library()
+        assert len(library) == len(library.names)
+        assert library.names == sorted(library.names)

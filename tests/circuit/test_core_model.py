@@ -1,0 +1,80 @@
+"""Tests for the core's stage netlists (the Fig. 4 substrate)."""
+
+import pytest
+
+from repro.circuit.core_model import (
+    FPU_STAGES,
+    build_core_stages,
+    is_fpu_stage,
+)
+from repro.circuit.sta import (
+    StaticTimingAnalysis,
+    clock_period,
+    path_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def stages():
+    return build_core_stages()
+
+
+class TestConstruction:
+    def test_all_stages_present(self, stages):
+        assert set(stages) == set(FPU_STAGES)
+
+    def test_netlists_validate(self, stages):
+        for netlist in stages.values():
+            netlist.validate()
+
+    def test_annotation_optional(self):
+        bare = build_core_stages(annotate=False)
+        assert all(g.wire_delay_ps == 0.0
+                   for nl in bare.values() for g in nl.gates)
+
+    def test_deterministic(self):
+        a = build_core_stages(seed=5)
+        b = build_core_stages(seed=5)
+        for name in a:
+            assert len(a[name]) == len(b[name])
+            assert StaticTimingAnalysis(a[name]).critical_delay() == (
+                pytest.approx(
+                    StaticTimingAnalysis(b[name]).critical_delay()
+                )
+            )
+
+
+class TestPaperShape:
+    def test_fpu_paths_dominate_top_1000(self, stages):
+        """Fig. 4: the longest paths all belong to the FPU subsystem."""
+        paths = path_distribution(list(stages.values()), 1000)
+        fpu = sum(1 for p in paths if is_fpu_stage(p.stage))
+        assert fpu == len(paths)
+
+    def test_clock_set_by_fpu(self, stages):
+        clock = clock_period(list(stages.values()))
+        fpu_worst = max(
+            StaticTimingAnalysis(nl).critical_delay()
+            for name, nl in stages.items() if is_fpu_stage(name)
+        )
+        assert clock == pytest.approx(fpu_worst)
+
+    def test_non_fpu_stages_keep_big_slack(self, stages):
+        """Non-FPU paths survive the studied voltage reductions."""
+        clock = clock_period(list(stages.values()))
+        for name, netlist in stages.items():
+            if is_fpu_stage(name):
+                continue
+            delay = StaticTimingAnalysis(netlist).critical_delay()
+            # Even 40% slower non-FPU logic still meets the clock.
+            assert delay * 1.4 < clock
+
+    def test_multiplier_is_critical(self, stages):
+        delays = {
+            name: StaticTimingAnalysis(nl).critical_delay()
+            for name, nl in stages.items()
+        }
+        assert max(delays, key=delays.get) == "fpu_multiplier"
+
+    def test_is_fpu_stage_unknown_is_false(self):
+        assert not is_fpu_stage("made_up_stage")

@@ -1,0 +1,129 @@
+"""Tests for the extension delay-increase sources (paper Section VI)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.liberty import TECHNOLOGY, VR15
+from repro.circuit.variation import (
+    AgingModel,
+    StressCondition,
+    StressPoint,
+    TemperatureModel,
+    overclock_factor,
+    stress_threshold,
+)
+from repro.fpu import ops
+from repro.fpu.formats import FpOp
+from repro.fpu.timing import DEFAULT_MODEL
+
+
+class TestAging:
+    def test_fresh_silicon_unchanged(self):
+        assert AgingModel().delay_factor(0.0) == 1.0
+
+    def test_monotone_in_years(self):
+        aging = AgingModel()
+        factors = [aging.delay_factor(y) for y in (0, 1, 5, 10, 20)]
+        assert factors == sorted(factors)
+        assert factors[-1] > 1.0
+
+    def test_power_law_sublinear(self):
+        aging = AgingModel()
+        # Most degradation happens early (n ~ 0.2).
+        first_year = aging.delta_vth(1.0)
+        tenth_year = aging.delta_vth(10.0) - aging.delta_vth(9.0)
+        assert first_year > tenth_year
+
+    def test_aging_worse_at_low_voltage(self):
+        aging = AgingModel()
+        assert aging.delay_factor(10.0, voltage=0.9) > (
+            aging.delay_factor(10.0, voltage=1.1)
+        )
+
+    def test_negative_years_rejected(self):
+        with pytest.raises(ValueError):
+            AgingModel().delta_vth(-1.0)
+
+
+class TestTemperature:
+    def test_reference_is_unity(self):
+        assert TemperatureModel().delay_factor(25.0) == pytest.approx(1.0)
+
+    def test_hotter_is_slower(self):
+        model = TemperatureModel()
+        assert model.delay_factor(85.0) > model.delay_factor(25.0)
+        assert model.delay_factor(0.0) < 1.0
+
+    def test_range_guard(self):
+        with pytest.raises(ValueError):
+            TemperatureModel(percent_per_10c=50.0).delay_factor(-300.0)
+
+
+class TestOverclock:
+    def test_ratio(self):
+        assert overclock_factor(4500.0, 4000.0) == pytest.approx(1.125)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            overclock_factor(0.0, 1.0)
+
+
+class TestStressComposition:
+    def test_nominal_condition_is_unity(self):
+        assert StressCondition().delay_factor() == pytest.approx(1.0)
+
+    def test_factors_compose_multiplicatively(self):
+        base = StressCondition(voltage_reduction=0.15).delay_factor()
+        heated = StressCondition(voltage_reduction=0.15,
+                                 temperature_c=85.0).delay_factor()
+        assert heated == pytest.approx(
+            base * TemperatureModel().delay_factor(85.0), rel=1e-6
+        )
+
+    def test_matches_pure_voltage_point(self):
+        condition = StressCondition(voltage_reduction=0.15)
+        assert condition.delay_factor() == pytest.approx(
+            TECHNOLOGY.delay_factor(VR15.voltage)
+        )
+
+    def test_stress_point_threshold(self):
+        point = StressCondition(voltage_reduction=0.15,
+                                years=10.0).operating_point()
+        assert isinstance(point, StressPoint)
+        assert stress_threshold(point) > DEFAULT_MODEL.threshold(VR15)
+
+    def test_point_naming(self):
+        point = StressCondition(voltage_reduction=0.2,
+                                years=5.0).operating_point()
+        assert point.name.startswith("VR20")
+
+
+class TestTimingModelIntegration:
+    def test_aged_silicon_fails_more(self, rng):
+        """Aging + undervolting produce more errors than undervolting
+        alone — the tool extension Section VI promises."""
+        fresh = StressCondition(voltage_reduction=0.15).operating_point("F")
+        aged = StressCondition(voltage_reduction=0.15,
+                               years=15.0,
+                               temperature_c=85.0).operating_point("A")
+        values = rng.uniform(-1000, 1000, size=40_000)
+        partner = rng.uniform(-1000, 1000, size=40_000)
+        a = ops.values_to_bits(FpOp.MUL_D, values)
+        b = ops.values_to_bits(FpOp.MUL_D, partner)
+        masks = DEFAULT_MODEL.error_masks(FpOp.MUL_D, a, b, [fresh, aged])
+        n_fresh = np.count_nonzero(masks["F"])
+        n_aged = np.count_nonzero(masks["A"])
+        assert n_aged > n_fresh
+
+    def test_overclocking_alone_induces_errors(self, rng):
+        """Nominal voltage, shrunk cycle: errors without undervolting."""
+        point = StressCondition(
+            overclock=overclock_factor(4500.0, 3600.0)
+        ).operating_point("OC")
+        values = rng.uniform(-1000, 1000, size=40_000)
+        a = ops.values_to_bits(FpOp.MUL_D, values)
+        b = ops.values_to_bits(
+            FpOp.MUL_D, rng.uniform(-1000, 1000, size=40_000)
+        )
+        masks = DEFAULT_MODEL.error_masks(FpOp.MUL_D, a, b, [point])
+        assert np.count_nonzero(masks["OC"]) > 0

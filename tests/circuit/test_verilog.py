@@ -1,0 +1,80 @@
+"""Tests for structural-Verilog netlist round-tripping."""
+
+import pytest
+
+from repro.circuit.builder import build_adder, build_multiplier, bus_values
+from repro.circuit.sdf import annotate_interconnect
+from repro.circuit.sta import StaticTimingAnalysis
+from repro.circuit.verilog import export_verilog, import_verilog
+
+
+@pytest.fixture(scope="module")
+def adder():
+    netlist = build_adder(8)
+    annotate_interconnect(netlist)
+    return netlist
+
+
+class TestExport:
+    def test_contains_module_and_instances(self, adder):
+        text = export_verilog(adder)
+        assert f"module {adder.name}" in text
+        assert "endmodule" in text
+        assert text.count("(.A(") + text.count("(.Y(") >= len(adder)
+
+    def test_ports_declared(self, adder):
+        text = export_verilog(adder)
+        assert "input a__LB__0__RB__" in text
+        assert "output" in text
+
+    def test_wire_delays_recorded(self, adder):
+        text = export_verilog(adder)
+        assert "wire_delay_ps=" in text
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self, adder):
+        back = import_verilog(export_verilog(adder))
+        assert len(back) == len(adder)
+        assert back.inputs == adder.inputs
+        assert back.outputs == adder.outputs
+
+    def test_function_preserved(self, adder):
+        back = import_verilog(export_verilog(adder))
+        for a, b in [(0, 0), (255, 1), (170, 85), (200, 100)]:
+            inputs = {**bus_values("a", 8, a), **bus_values("b", 8, b)}
+            assert back.evaluate_outputs(inputs) == (
+                adder.evaluate_outputs(inputs)
+            )
+
+    def test_timing_preserved(self, adder):
+        back = import_verilog(export_verilog(adder))
+        assert StaticTimingAnalysis(back).critical_delay() == pytest.approx(
+            StaticTimingAnalysis(adder).critical_delay()
+        )
+
+    def test_multiplier_roundtrip(self):
+        netlist = build_multiplier(5)
+        back = import_verilog(export_verilog(netlist))
+        inputs = {**bus_values("a", 5, 21), **bus_values("b", 5, 19)}
+        got = back.evaluate_outputs(inputs)
+        word = sum(got[n] << i for i, n in enumerate(back.outputs))
+        assert word == 21 * 19
+
+
+class TestImportErrors:
+    def test_missing_module(self):
+        with pytest.raises(ValueError, match="module"):
+            import_verilog("wire x;")
+
+    def test_unknown_cell(self):
+        text = ("module m (\n  input a,\n  output y\n);\n"
+                "  FOO77 g0 (.A(a), .Y(y));\nendmodule\n")
+        with pytest.raises(ValueError, match="unknown cell"):
+            import_verilog(text)
+
+    def test_unparseable_instance(self):
+        text = ("module m (\n  input a,\n  output y\n);\n"
+                "  complete nonsense here\nendmodule\n")
+        with pytest.raises(ValueError, match="unparseable"):
+            import_verilog(text)

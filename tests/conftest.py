@@ -1,0 +1,61 @@
+"""Shared fixtures: session-scoped golden runs and characterised models.
+
+Golden runs and DTA characterisation are deterministic and moderately
+expensive, so the suite builds them once per session at 'tiny' scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.runner import CampaignRunner
+from repro.circuit.liberty import NOMINAL, VR15, VR20
+from repro.errors import characterize_da, characterize_ia, characterize_wa
+from repro.fpu.unit import FPU
+from repro.workloads import WORKLOADS, make_workload
+
+POINTS = [VR15, VR20]
+
+
+@pytest.fixture(scope="session")
+def fpu():
+    return FPU()
+
+
+@pytest.fixture(scope="session")
+def tiny_runners():
+    """One CampaignRunner per benchmark at 'tiny' scale, golden run done."""
+    runners = {}
+    for name in WORKLOADS:
+        runner = CampaignRunner(make_workload(name, scale="tiny", seed=11),
+                                seed=11)
+        runner.golden()
+        runners[name] = runner
+    return runners
+
+
+@pytest.fixture(scope="session")
+def tiny_profiles(tiny_runners):
+    return {name: runner.golden().profile
+            for name, runner in tiny_runners.items()}
+
+
+@pytest.fixture(scope="session")
+def ia_model(fpu):
+    return characterize_ia(POINTS, fpu=fpu, samples_per_op=20_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def da_model(fpu, tiny_profiles):
+    return characterize_da(list(tiny_profiles.values()), POINTS, fpu=fpu,
+                           sample_per_point=20_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def wa_models(fpu, tiny_profiles):
+    return {name: characterize_wa(profile, POINTS, fpu=fpu)
+            for name, profile in tiny_profiles.items()}
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)

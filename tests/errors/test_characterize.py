@@ -1,0 +1,115 @@
+"""Tests for the model-development phase (characterisation drivers)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.liberty import VR15, VR20
+from repro.errors.characterize import (
+    characterize_da,
+    characterize_ia,
+    characterize_wa,
+    random_operands,
+)
+from repro.fpu.formats import ALL_OPS, FpOp
+from repro.utils.rng import RngStream
+
+
+class TestRandomOperands:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: o.value)
+    def test_shapes(self, op):
+        a, b = random_operands(op, 100, RngStream(1, op.value))
+        assert a.shape == (100,)
+        if op.has_two_operands:
+            assert b.shape == (100,)
+        else:
+            assert b is None
+
+    def test_uniform_values_cluster_exponents(self):
+        """Uniform value distribution: exponents concentrate near the top
+        of the range (the property that excites adder chains)."""
+        a, _ = random_operands(FpOp.ADD_D, 5000, RngStream(1, "x"))
+        exponents = (a >> np.uint64(52)) & np.uint64(0x7FF)
+        spread = int(exponents.max()) - int(np.percentile(exponents, 5))
+        assert spread < 64
+
+
+class TestCharacterizeIa(object):
+    def test_structure_and_paper_shape(self, ia_model):
+        stats15 = ia_model.stats["VR15"]
+        stats20 = ia_model.stats["VR20"]
+        assert set(stats15) == set(ALL_OPS)
+        # Only mul/sub fail at VR15; mul most error-prone at VR20.
+        for op, st in stats15.items():
+            if op not in (FpOp.MUL_D, FpOp.SUB_D):
+                assert st.error_ratio == 0.0, op
+        assert stats20[FpOp.MUL_D].error_ratio == max(
+            st.error_ratio for st in stats20.values()
+        )
+
+    def test_bit_probabilities_are_conditional(self, ia_model):
+        st = ia_model.stats["VR20"][FpOp.MUL_D]
+        assert st.error_ratio > 0
+        assert st.bit_probabilities.max() <= 1.0
+        assert st.bit_probabilities.sum() > 0
+        # Unconditional BER = ratio * conditional.
+        assert np.allclose(st.unconditional_ber(),
+                           st.error_ratio * st.bit_probabilities)
+
+
+class TestCharacterizeDa:
+    def test_fixed_ratios_in_paper_decades(self, da_model):
+        """DA ER should land near the paper's 1e-3 (VR15) / 1e-2 (VR20)."""
+        er15 = da_model.fixed_error_ratios["VR15"]
+        er20 = da_model.fixed_error_ratios["VR20"]
+        assert 0.0 <= er15 < 5e-3
+        assert 1e-3 < er20 < 5e-2
+        assert er20 > er15
+
+    def test_requires_nonempty_traces(self):
+        from repro.errors.base import WorkloadProfile
+
+        with pytest.raises(ValueError):
+            characterize_da([WorkloadProfile("empty")], [VR15])
+
+
+class TestCharacterizeWa:
+    def test_ber_arrays_present(self, wa_models, tiny_profiles):
+        model = wa_models["srad_v1"]
+        for point_name, per_op in model.faults.items():
+            for op, tf in per_op.items():
+                assert tf.ber is not None
+                assert tf.ber.shape == (op.fmt.width,)
+                assert tf.indices.shape == tf.bitmasks.shape
+
+    def test_hotspot_error_free_at_vr15(self, wa_models, tiny_profiles):
+        """The paper's headline observation."""
+        model = wa_models["hotspot"]
+        profile = tiny_profiles["hotspot"]
+        assert model.error_ratio(profile, VR15) == 0.0
+        assert model.error_ratio(profile, VR20) > 0.0
+
+    def test_workloads_differ(self, wa_models, tiny_profiles):
+        """Fig. 8: different workloads exhibit vastly different ratios."""
+        ratios = {
+            name: wa_models[name].error_ratio(tiny_profiles[name], VR20)
+            for name in wa_models
+        }
+        assert max(ratios.values()) > 10 * min(
+            v for v in ratios.values() if v > 0
+        )
+
+    def test_masks_match_trace_dta(self, wa_models, tiny_profiles, fpu):
+        """Stored masks are exactly the DTA masks of the stored indices."""
+        model = wa_models["srad_v1"]
+        profile = tiny_profiles["srad_v1"]
+        for op, tf in model.faults["VR20"].items():
+            if tf.count == 0:
+                continue
+            a, b = profile.trace_by_op[op]
+            take = min(tf.indices.max() + 1, a.size)
+            batch = fpu.dta(op, a[:take], b[:take] if b is not None else None,
+                            [VR20])
+            masks = batch.masks["VR20"]
+            for idx, mask in zip(tf.indices[:10], tf.bitmasks[:10]):
+                assert masks[idx] == mask
+            break

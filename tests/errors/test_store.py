@@ -1,0 +1,89 @@
+"""Tests for error-model artifact persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuit.liberty import VR15, VR20
+from repro.errors import store
+from repro.errors.da import DaModel
+from repro.fpu.formats import FpOp
+
+
+class TestDaRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        model = DaModel({"VR15": 1e-3, "VR20": 1e-2}, injection_window=512)
+        path = store.save_da(model, tmp_path / "da.json")
+        loaded = store.load_da(path)
+        assert loaded.fixed_error_ratios == model.fixed_error_ratios
+        assert loaded.injection_window == 512
+
+    def test_json_is_inspectable(self, tmp_path):
+        path = store.save_da(DaModel({"VR15": 1e-3}), tmp_path / "da.json")
+        data = json.loads(path.read_text())
+        assert data["model"] == "DA"
+        assert data["format_version"] == 1
+
+
+class TestIaRoundtrip:
+    def test_roundtrip(self, tmp_path, ia_model):
+        path = store.save_ia(ia_model, tmp_path / "ia.json")
+        loaded = store.load_ia(path)
+        for point in ("VR15", "VR20"):
+            for op, stats in ia_model.stats[point].items():
+                back = loaded.stats[point][op]
+                assert back.error_ratio == stats.error_ratio
+                assert np.allclose(back.bit_probabilities,
+                                   stats.bit_probabilities)
+
+    def test_plans_equivalent(self, tmp_path, ia_model, tiny_profiles):
+        from repro.utils.rng import RngStream
+
+        path = store.save_ia(ia_model, tmp_path / "ia.json")
+        loaded = store.load_ia(path)
+        profile = tiny_profiles["srad_v1"]
+        p1 = ia_model.plan(profile, VR20, RngStream(5, "r"))
+        p2 = loaded.plan(profile, VR20, RngStream(5, "r"))
+        assert p1.victims == p2.victims
+
+
+class TestWaRoundtrip:
+    def test_roundtrip(self, tmp_path, wa_models):
+        model = wa_models["srad_v1"]
+        path = store.save_wa(model, tmp_path / "wa.json")
+        loaded = store.load_wa(path)
+        assert loaded.workload == model.workload
+        for point in ("VR15", "VR20"):
+            for op, faults in model.faults[point].items():
+                back = loaded.faults[point][op]
+                assert np.array_equal(back.indices, faults.indices)
+                assert np.array_equal(back.bitmasks, faults.bitmasks)
+                assert back.analysed == faults.analysed
+
+
+class TestLoadAny:
+    def test_dispatch(self, tmp_path, wa_models):
+        da_path = store.save_da(DaModel({"VR15": 1e-3}), tmp_path / "a.json")
+        wa_path = store.save_wa(wa_models["cg"], tmp_path / "b.json")
+        assert store.load_any(da_path).name == "DA"
+        assert store.load_any(wa_path).name == "WA"
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = store.save_da(DaModel({"VR15": 1e-3}), tmp_path / "a.json")
+        with pytest.raises(ValueError, match="expected 'WA'"):
+            store.load_wa(path)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "model": "DA",
+                                    "payload": {}}))
+        with pytest.raises(ValueError, match="format version"):
+            store.load_da(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"format_version": 1, "model": "XX",
+                                    "payload": {}}))
+        with pytest.raises(ValueError, match="unknown model kind"):
+            store.load_any(path)

@@ -1,0 +1,230 @@
+"""Integration tests for the per-artifact experiment drivers.
+
+Each test asserts the *paper shape* the corresponding figure/table is
+supposed to show, at tiny scale.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.liberty import VR15, VR20
+from repro.experiments import (
+    ExperimentContext,
+)
+from repro.experiments import (
+    avm_analysis,
+    fig4_paths,
+    fig5_bitflips,
+    fig6_convergence,
+    fig7_ia,
+    fig8_wa,
+    fig9_outcomes,
+    fig10_error_ratio,
+    table1_models,
+    table2_benchmarks,
+)
+from repro.fpu.formats import FpOp
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext.create(
+        scale="tiny", seed=11, characterization_samples=15_000,
+        benchmarks=("cg", "kmeans", "hotspot", "srad_v1"),
+    )
+
+
+@pytest.fixture(scope="module")
+def campaigns(context):
+    return context.run_campaigns(runs=40)
+
+
+class TestFig4:
+    def test_fpu_dominates(self):
+        result = fig4_paths.run(k=300)
+        assert result.fpu_fraction == 1.0
+        assert result.non_fpu_paths == 0
+        assert result.clock_ps > 0
+        assert "fpu_multiplier" in result.paths_by_stage
+
+    def test_render(self):
+        text = fig4_paths.render(fig4_paths.run(k=50))
+        assert "Fig. 4" in text and "FPU share" in text
+
+
+class TestFig5:
+    def test_multibit_majority(self):
+        """Paper: 64.5% multi-bit on average; our model measures ~45-60%
+        depending on the operand stream — the qualitative claim (timing
+        errors are predominantly multi-bit, unlike soft errors) holds."""
+        result = fig5_bitflips.run(samples_per_op=20_000, seed=11)
+        assert result.average_multi_bit > 0.4
+        assert set(result.histogram) == {"VR15", "VR20"}
+        assert sum(result.histogram["VR20"].values()) > 0
+
+    def test_render_mentions_paper_value(self):
+        result = fig5_bitflips.run(samples_per_op=5_000, seed=11)
+        assert "64.5%" in fig5_bitflips.render(result)
+
+
+class TestFig6:
+    def test_ae_decreases_with_sample_size(self, context):
+        # kmeans' mul trace is dense enough at tiny scale to show the
+        # convergence (the paper uses is/fp-mul with a 1M-operand trace;
+        # the driver defaults match that at larger scales).
+        result = fig6_convergence.run(
+            profile=context.profiles["kmeans"],
+            sample_sizes=(100, 1_000, 10_000), seed=11,
+        )
+        errors = [result.absolute_error[k] for k in (100, 1_000, 10_000)]
+        assert errors[2] <= errors[0]
+        # K covering the whole trace reproduces the full BER exactly.
+        assert errors[2] == 0.0
+
+    def test_requires_trace(self, context):
+        with pytest.raises(ValueError, match="no fp.div.d trace"):
+            fig6_convergence.run(profile=context.profiles["hotspot"],
+                                 op=FpOp.DIV_D)
+
+
+class TestFig7:
+    def test_paper_shape(self, context):
+        result = fig7_ia.run(model=context.ia)
+        r15 = result.error_ratios["VR15"]
+        r20 = result.error_ratios["VR20"]
+        # Only mul/sub at VR15; mul most error-prone at VR20.
+        for op, ratio in r15.items():
+            if op not in (FpOp.MUL_D, FpOp.SUB_D):
+                assert ratio == 0.0
+        assert r20[FpOp.MUL_D] == max(r20.values())
+        # Single precision error-free.
+        assert r20[FpOp.MUL_S] == 0.0
+
+    def test_render(self, context):
+        text = fig7_ia.render(fig7_ia.run(model=context.ia))
+        assert "error-free" in text
+
+
+class TestFig8:
+    def test_workload_dependence(self, context):
+        result = fig8_wa.run(context=context)
+        # hotspot VR15 carries zero BER mass; srad does not.
+        hotspot_mass = sum(
+            b.sum() for b in result.ber["hotspot"]["VR15"].values()
+        )
+        srad_mass = sum(
+            b.sum() for b in result.ber["srad_v1"]["VR15"].values()
+        )
+        assert hotspot_mass == 0.0
+        assert srad_mass > 0.0
+
+    def test_mantissa_has_more_error_prone_positions(self, context):
+        """Fig. 8: many mantissa bit positions carry errors; the exponent
+        region concentrates on few positions (cancellation-heavy panels
+        like srad can still peak there, as in the paper's MSB note)."""
+        result = fig8_wa.run(context=context)
+        for name, per_point in result.ber.items():
+            mant_positions = set()
+            exp_positions = set()
+            for per_op in per_point.values():
+                for mnemonic, bits in per_op.items():
+                    for bit in np.nonzero(bits)[0]:
+                        if bit >= 52:
+                            exp_positions.add((mnemonic, int(bit)))
+                        else:
+                            mant_positions.add((mnemonic, int(bit)))
+            if mant_positions or exp_positions:
+                assert len(mant_positions) >= len(exp_positions), name
+
+
+class TestFig9:
+    def test_structure(self, context, campaigns):
+        result = fig9_outcomes.Fig9Result(results=campaigns,
+                                          runs_per_cell=40)
+        cell = result.cell("hotspot", "WA", "VR15")
+        assert cell.avm == 0.0
+        with pytest.raises(KeyError):
+            result.cell("nope", "WA", "VR15")
+
+    def test_wa_diverges_from_da(self, context, campaigns):
+        result = fig9_outcomes.Fig9Result(results=campaigns,
+                                          runs_per_cell=40)
+        da = result.cell("hotspot", "DA", "VR15").avm
+        wa = result.cell("hotspot", "WA", "VR15").avm
+        assert da - wa > 0.2
+
+    def test_render(self, campaigns):
+        text = fig9_outcomes.render(
+            fig9_outcomes.Fig9Result(results=campaigns, runs_per_cell=40)
+        )
+        assert "Masked" in text and "hotspot" in text
+
+
+class TestFig10:
+    def test_divergence_aggregates(self, campaigns):
+        result = fig10_error_ratio.run(campaign_results=campaigns)
+        assert result.divergence["DA"] > 1.0
+        assert result.divergence["IA"] > 1.0
+
+    def test_vr20_injects_more_than_vr15(self, campaigns):
+        result = fig10_error_ratio.run(campaign_results=campaigns)
+        for model in ("DA", "IA"):
+            for benchmark in ("cg", "srad_v1"):
+                assert result.ratio(benchmark, model, "VR20") > (
+                    result.ratio(benchmark, model, "VR15")
+                )
+
+    def test_render(self, campaigns):
+        text = fig10_error_ratio.render(
+            fig10_error_ratio.run(campaign_results=campaigns)
+        )
+        assert "fold-change" in text and "paper" in text
+
+
+class TestTables:
+    def test_table1_rows(self):
+        result = table1_models.run()
+        assert [row["model"] for row in result.rows] == ["DA", "IA", "WA"]
+        wa_row = result.rows[2]
+        assert wa_row["workload aware"] and wa_row["microarchitecture aware"]
+        assert not result.rows[0]["instruction aware"]
+
+    def test_table2_from_context(self, context):
+        result = table2_benchmarks.run(context=context)
+        names = [row.name for row in result.rows]
+        assert "hotspot" in names and "cg" in names
+        for row in result.rows:
+            assert row.total_instructions > row.fp_instructions
+            assert row.classification
+
+    def test_table2_render(self, context):
+        text = table2_benchmarks.render(table2_benchmarks.run(context=context))
+        assert "Table II" in text and "Classification" in text
+
+
+class TestAvmAnalysis:
+    def test_structure_and_shapes(self, context, campaigns):
+        result = avm_analysis.run(context=context,
+                                  campaign_results=campaigns)
+        # WA permits hotspot at VR15 (AVM 0); DA does not.
+        wa_choice = next(c for c in result.vmin
+                         if c.benchmark == "hotspot" and c.model == "WA")
+        da_choice = next(c for c in result.vmin
+                         if c.benchmark == "hotspot" and c.model == "DA")
+        assert wa_choice.point.voltage < da_choice.point.voltage
+        assert wa_choice.power_saving > da_choice.power_saving
+        assert result.divergence["DA"] > 0
+
+    def test_mitigation_savings_positive(self, context, campaigns):
+        result = avm_analysis.run(context=context,
+                                  campaign_results=campaigns)
+        for name, (point, saving) in result.mitigation.items():
+            assert saving > 0.0
+
+    def test_render(self, context, campaigns):
+        text = avm_analysis.render(
+            avm_analysis.run(context=context, campaign_results=campaigns)
+        )
+        assert "AVM" in text and "Vmin" in text

@@ -1,0 +1,136 @@
+"""Property-based algebraic invariants of the FPU stack (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.liberty import VR20
+from repro.fpu import ops, softfloat
+from repro.fpu.formats import FpOp
+from repro.fpu.timing import DEFAULT_MODEL
+from repro.utils.ieee754 import (
+    DOUBLE,
+    bits64_to_float,
+    float_to_bits64,
+)
+
+FINITE = st.floats(allow_nan=False, allow_infinity=False, width=64)
+BITS64 = st.integers(0, (1 << 64) - 1)
+
+
+def _is_nan(bits):
+    return softfloat.classify(bits, DOUBLE) == "nan"
+
+
+class TestAlgebraicInvariants:
+    @given(a=BITS64, b=BITS64)
+    @settings(max_examples=200, deadline=None)
+    def test_addition_commutative(self, a, b):
+        x = softfloat.fp_add(a, b, DOUBLE)
+        y = softfloat.fp_add(b, a, DOUBLE)
+        assert x == y or (_is_nan(x) and _is_nan(y))
+
+    @given(a=BITS64, b=BITS64)
+    @settings(max_examples=200, deadline=None)
+    def test_multiplication_commutative(self, a, b):
+        x = softfloat.fp_mul(a, b, DOUBLE)
+        y = softfloat.fp_mul(b, a, DOUBLE)
+        assert x == y or (_is_nan(x) and _is_nan(y))
+
+    @given(a=BITS64, b=BITS64)
+    @settings(max_examples=200, deadline=None)
+    def test_sub_is_add_of_negation(self, a, b):
+        x = softfloat.fp_sub(a, b, DOUBLE)
+        y = softfloat.fp_add(a, b ^ (1 << 63), DOUBLE)
+        assert x == y or (_is_nan(x) and _is_nan(y))
+
+    @given(a=FINITE)
+    @settings(max_examples=200, deadline=None)
+    def test_add_zero_identity(self, a):
+        if a == 0.0 and math.copysign(1.0, a) < 0:
+            return  # RNE: (-0) + (+0) == +0, the IEEE exception
+        bits = float_to_bits64(a)
+        assert softfloat.fp_add(bits, float_to_bits64(0.0), DOUBLE) == bits
+
+    @given(a=FINITE)
+    @settings(max_examples=200, deadline=None)
+    def test_mul_one_identity(self, a):
+        bits = float_to_bits64(a)
+        assert softfloat.fp_mul(bits, float_to_bits64(1.0), DOUBLE) == bits
+
+    @given(a=FINITE)
+    @settings(max_examples=200, deadline=None)
+    def test_div_by_self_is_one(self, a):
+        if a == 0.0 or math.isinf(a):
+            return
+        bits = float_to_bits64(a)
+        assert softfloat.fp_div(bits, bits, DOUBLE) == float_to_bits64(1.0)
+
+    @given(a=FINITE, b=FINITE)
+    @settings(max_examples=200, deadline=None)
+    def test_sign_symmetry_of_mul(self, a, b):
+        pos = softfloat.fp_mul(float_to_bits64(a), float_to_bits64(b),
+                               DOUBLE)
+        neg = softfloat.fp_mul(float_to_bits64(-a), float_to_bits64(b),
+                               DOUBLE)
+        assert neg == pos ^ (1 << 63) or (_is_nan(pos) and _is_nan(neg))
+
+    @given(value=st.integers(-(1 << 52), 1 << 52))
+    @settings(max_examples=200, deadline=None)
+    def test_i2f_f2i_roundtrip_in_exact_range(self, value):
+        bits = softfloat.fp_i2f(value & ((1 << 64) - 1), DOUBLE)
+        back = softfloat.fp_f2i(bits, DOUBLE)
+        assert back == value & ((1 << 64) - 1)
+
+
+class TestTimingModelInvariants:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_masks_never_flag_golden_matches(self, seed):
+        """A zero mask always means sampled == golden; nonzero masks are
+        the XOR of two distinct values — they can never be the full-width
+        pattern of an unexcited datapath (sanity: masks fit the format)."""
+        rng = np.random.default_rng(seed)
+        a = ops.values_to_bits(FpOp.MUL_D, rng.uniform(-100, 100, 2000))
+        b = ops.values_to_bits(FpOp.MUL_D, rng.uniform(-100, 100, 2000))
+        masks = DEFAULT_MODEL.error_masks(FpOp.MUL_D, a, b, [VR20])["VR20"]
+        assert masks.dtype == np.uint64
+        # Masks stay within the architectural register width.
+        assert int(masks.max()) <= (1 << 64) - 1
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_subset_consistency(self, seed):
+        """DTA of a subset equals the subset of the DTA (no cross-element
+        coupling in the vectorised backend)."""
+        rng = np.random.default_rng(seed)
+        a = ops.values_to_bits(FpOp.SUB_D, rng.uniform(-100, 100, 500))
+        b = ops.values_to_bits(FpOp.SUB_D, rng.uniform(-100, 100, 500))
+        full = DEFAULT_MODEL.error_masks(FpOp.SUB_D, a, b, [VR20])["VR20"]
+        half = DEFAULT_MODEL.error_masks(
+            FpOp.SUB_D, a[:250], b[:250], [VR20]
+        )["VR20"]
+        assert np.array_equal(full[:250], half)
+
+
+class TestContextInvariants:
+    @given(seed=st.integers(0, 2**31 - 1),
+           index=st.integers(0, 63))
+    @settings(max_examples=30, deadline=None)
+    def test_double_corruption_cancels(self, seed, index):
+        """XOR semantics: applying the same mask twice restores golden."""
+        from repro.workloads.base import FPContext
+        from repro.fpu.formats import FpOp
+
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-10, 10, 8)
+        b = rng.uniform(-10, 10, 8)
+        mask = 1 << index
+        golden = FPContext().mul(a, b)
+        ctx = FPContext(corruption={FpOp.MUL_D: {3: mask ^ mask}})
+        restored = ctx.mul(a, b)
+        assert np.array_equal(golden.view(np.uint64),
+                              restored.view(np.uint64))

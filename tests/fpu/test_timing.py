@@ -1,0 +1,222 @@
+"""Tests for the dynamic-timing model: nominal safety, paper shapes,
+voltage monotonicity, and data dependence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.liberty import NOMINAL, TECHNOLOGY, VR15, VR20
+from repro.fpu import ops
+from repro.fpu.formats import ALL_OPS, OPS_DOUBLE, OPS_SINGLE, FpOp
+from repro.fpu.timing import (
+    DEFAULT_MODEL,
+    PathClass,
+    TimingConfig,
+    TimingModel,
+)
+from repro.utils.bitops import count_ones
+from repro.utils.ieee754 import floats_to_bits64
+
+POINTS = [NOMINAL, VR15, VR20]
+
+
+def _uniform_operands(op, rng, n=50_000, magnitude=1000.0):
+    if op.kind == "i2f":
+        a = rng.integers(-(1 << 40), 1 << 40, size=n).astype(np.int64)
+        return a.view(np.uint64), None
+    values = rng.uniform(-magnitude, magnitude, size=n)
+    a = ops.values_to_bits(op, values)
+    if not op.has_two_operands:
+        return a, None
+    b = ops.values_to_bits(op, rng.uniform(-magnitude, magnitude, size=n))
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def masks_by_op(rng):
+    out = {}
+    for op in ALL_OPS:
+        a, b = _uniform_operands(op, rng)
+        out[op] = DEFAULT_MODEL.error_masks(op, a, b, POINTS)
+    return out
+
+
+class TestPathClass:
+    def test_k_star_infinite_when_slack_holds(self):
+        params = PathClass(slack_min=0.3, tau=5.0)
+        assert math.isinf(params.k_star(0.2))
+
+    def test_k_star_clamps_at_one(self):
+        params = PathClass(slack_min=0.0, tau=5.0, amplitude=0.1)
+        assert params.k_star(0.5) == 1.0
+
+    def test_k_star_decreases_with_threshold(self):
+        params = PathClass(slack_min=0.02, tau=8.0)
+        assert params.k_star(0.234) < params.k_star(0.170)
+
+
+class TestThresholds:
+    def test_nominal_threshold_zero(self):
+        assert DEFAULT_MODEL.threshold(NOMINAL) == 0.0
+
+    def test_vr_thresholds_ordered(self):
+        assert 0 < DEFAULT_MODEL.threshold(VR15) < DEFAULT_MODEL.threshold(VR20)
+
+    def test_mul_k_star_finite_at_vr15(self):
+        assert not math.isinf(DEFAULT_MODEL.k_star(FpOp.MUL_D, VR15))
+
+    def test_add_k_star_infinite_at_vr15(self):
+        assert math.isinf(DEFAULT_MODEL.k_star(FpOp.ADD_D, VR15))
+
+
+class TestNominalSafety:
+    def test_no_errors_at_nominal_any_op(self, masks_by_op):
+        """Design invariant: nominal voltage never produces timing errors."""
+        for op, masks in masks_by_op.items():
+            assert np.count_nonzero(masks["NOM"]) == 0, op
+
+
+class TestPaperShapes:
+    def test_only_mul_and_sub_fail_at_vr15(self, masks_by_op):
+        """Fig. 7: at VR15 only fp-mul and fp-sub produce errors."""
+        for op, masks in masks_by_op.items():
+            faulty = np.count_nonzero(masks["VR15"])
+            if op in (FpOp.MUL_D, FpOp.SUB_D):
+                assert faulty > 0, op
+            else:
+                assert faulty == 0, op
+
+    def test_div_and_add_join_at_vr20(self, masks_by_op):
+        for op in (FpOp.DIV_D, FpOp.ADD_D):
+            assert np.count_nonzero(masks_by_op[op]["VR20"]) > 0
+
+    def test_conversions_error_free(self, masks_by_op):
+        for op in (FpOp.I2F_D, FpOp.F2I_D, FpOp.I2F_S, FpOp.F2I_S):
+            for point in ("VR15", "VR20"):
+                assert np.count_nonzero(masks_by_op[op][point]) == 0
+
+    def test_single_precision_error_free(self, masks_by_op):
+        """Fig. 7: no SP instruction fails at the studied VR levels."""
+        for op in OPS_SINGLE:
+            for point in ("VR15", "VR20"):
+                assert np.count_nonzero(masks_by_op[op][point]) == 0, op
+
+    def test_mul_is_most_error_prone_at_vr20(self, masks_by_op):
+        ratios = {
+            op: np.count_nonzero(masks_by_op[op]["VR20"])
+            for op in OPS_DOUBLE
+        }
+        assert max(ratios, key=ratios.get) == FpOp.MUL_D
+
+    def test_errors_multi_bit_in_majority(self, masks_by_op):
+        """Fig. 5: timing errors flip multiple bits most of the time."""
+        flips = []
+        for op in OPS_DOUBLE:
+            for point in ("VR15", "VR20"):
+                masks = masks_by_op[op][point]
+                faulty = masks[masks != 0]
+                if faulty.size:
+                    flips.append(count_ones(faulty))
+        merged = np.concatenate(flips)
+        assert np.mean(merged > 1) > 0.5
+
+    def test_mantissa_dominates_exponent(self, masks_by_op):
+        """Fig. 8 observation: on random operands, mantissa bits carry the
+        error mass (cancellation-heavy workloads can raise exponent-region
+        BER, like srad's MSBs in the paper)."""
+        mant = exp = 0
+        for op in OPS_DOUBLE:
+            masks = masks_by_op[op]["VR20"]
+            faulty = masks[masks != 0]
+            mant += int(count_ones(faulty & np.uint64((1 << 52) - 1)).sum())
+            exp_mask = np.uint64(0x7FF) << np.uint64(52)
+            exp += int(count_ones(faulty & exp_mask).sum())
+        assert mant > exp
+
+
+class TestVoltageMonotonicity:
+    def test_vr20_supersets_vr15(self, masks_by_op):
+        """Every VR15 failure also fails at VR20 with at least those bits
+        (deeper undervolting only makes chains later)."""
+        for op in (FpOp.MUL_D, FpOp.SUB_D):
+            m15 = masks_by_op[op]["VR15"]
+            m20 = masks_by_op[op]["VR20"]
+            covered = (m15 & ~m20) == 0
+            assert covered.all(), op
+
+    def test_error_ratio_grows_with_reduction(self, masks_by_op):
+        for op in (FpOp.MUL_D, FpOp.SUB_D):
+            n15 = np.count_nonzero(masks_by_op[op]["VR15"])
+            n20 = np.count_nonzero(masks_by_op[op]["VR20"])
+            assert n20 > n15
+
+
+class TestDataDependence:
+    def test_power_of_two_multiplies_never_fail(self, rng):
+        a = floats_to_bits64(rng.uniform(1.0, 2.0, size=20_000))
+        b = floats_to_bits64(np.full(20_000, 0.125))
+        masks = DEFAULT_MODEL.error_masks(FpOp.MUL_D, a, b, [VR20])
+        assert np.count_nonzero(masks["VR20"]) == 0
+
+    def test_dense_mantissas_fail_more(self, rng):
+        n = 50_000
+        dense = floats_to_bits64(rng.uniform(1.0, 2.0, size=n))
+        sparse = floats_to_bits64(
+            1.0 + rng.integers(0, 16, size=n) * 2.0**-4
+        )
+        partner = floats_to_bits64(rng.uniform(1.0, 2.0, size=n))
+        dense_faults = np.count_nonzero(
+            DEFAULT_MODEL.error_masks(FpOp.MUL_D, dense, partner,
+                                      [VR20])["VR20"]
+        )
+        sparse_faults = np.count_nonzero(
+            DEFAULT_MODEL.error_masks(FpOp.MUL_D, sparse, partner,
+                                      [VR20])["VR20"]
+        )
+        assert dense_faults > sparse_faults
+
+    def test_near_cancellation_subtract_is_short_chain(self, rng):
+        """Nearly equal operands: tiny borrow chains, no extra errors."""
+        n = 20_000
+        base = rng.uniform(1.0, 2.0, size=n)
+        a = floats_to_bits64(base)
+        b = floats_to_bits64(base * (1.0 + 1e-12))
+        masks = DEFAULT_MODEL.error_masks(FpOp.SUB_D, a, b, [VR15])
+        ratio = np.count_nonzero(masks["VR15"]) / n
+        assert ratio < 0.05
+
+    def test_masks_deterministic(self, rng):
+        a = floats_to_bits64(rng.uniform(-10, 10, size=1000))
+        b = floats_to_bits64(rng.uniform(-10, 10, size=1000))
+        m1 = DEFAULT_MODEL.error_masks(FpOp.MUL_D, a, b, [VR20])["VR20"]
+        m2 = DEFAULT_MODEL.error_masks(FpOp.MUL_D, a, b, [VR20])["VR20"]
+        assert np.array_equal(m1, m2)
+
+    def test_invalid_elements_never_flagged(self):
+        a = floats_to_bits64(np.array([float("nan"), float("inf"), 0.0]))
+        b = floats_to_bits64(np.array([1.0, 1.0, 1.0]))
+        for op in (FpOp.ADD_D, FpOp.MUL_D, FpOp.DIV_D):
+            masks = DEFAULT_MODEL.error_masks(op, a, b, [VR20])
+            assert np.count_nonzero(masks["VR20"]) == 0
+
+
+class TestCustomConfig:
+    def test_deeper_reduction_breaks_single_precision(self):
+        """Beyond the paper's points the SP datapath fails too (extension)."""
+        model = TimingModel()
+        vr35 = TECHNOLOGY.operating_point(0.35)
+        assert not math.isinf(
+            model.config.mantissa_params(FpOp.MUL_S).k_star(
+                model.threshold(vr35)
+            )
+        )
+
+    def test_config_is_tunable(self, rng):
+        config = TimingConfig()
+        config.mantissa["mul"] = PathClass(slack_min=0.5, tau=8.0)
+        model = TimingModel(config)
+        a = floats_to_bits64(rng.uniform(1.0, 2.0, size=10_000))
+        b = floats_to_bits64(rng.uniform(1.0, 2.0, size=10_000))
+        masks = model.error_masks(FpOp.MUL_D, a, b, [VR20])
+        assert np.count_nonzero(masks["VR20"]) == 0

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "linpack"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["campaign", "sobel"])
+        assert args.runs == 1068
+        assert args.vr == [15, 20]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sobel" in out and "fig9" in out
+
+    def test_characterize_writes_artifact(self, tmp_path, capsys):
+        code = main([
+            "characterize", "sobel", "--model", "wa", "--scale", "tiny",
+            "--samples", "5000", "--output", str(tmp_path),
+        ])
+        assert code == 0
+        artifact = tmp_path / "wa_sobel.json"
+        assert artifact.exists()
+
+    def test_campaign_from_artifact(self, tmp_path, capsys):
+        main([
+            "characterize", "sobel", "--model", "wa", "--scale", "tiny",
+            "--samples", "5000", "--output", str(tmp_path),
+        ])
+        capsys.readouterr()
+        code = main([
+            "campaign", "sobel", "--scale", "tiny", "--runs", "12",
+            "--model-file", str(tmp_path / "wa_sobel.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Masked" in out and "sobel" in out
+
+    def test_campaign_fresh_wa(self, capsys):
+        assert main(["campaign", "kmeans", "--scale", "tiny",
+                     "--runs", "8", "--vr", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "VR20" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""Tests for the assembler and its integration with the functional core."""
+
+import pytest
+
+from repro.fpu.formats import FpOp
+from repro.uarch.asm import AssemblyError, assemble, disassemble
+from repro.uarch.core import FunctionalCore
+from repro.utils.ieee754 import bits64_to_float, float_to_bits64
+
+
+class TestAssemble:
+    def test_basic_program(self):
+        program = assemble("""
+            li r1, 20
+            li r2, 22
+            add r3, r1, r2
+            halt
+        """)
+        assert len(program) == 4
+        assert program[2].opcode == "add"
+        assert program[2].dest == 3
+
+    def test_labels_resolve(self):
+        program = assemble("""
+        start:
+            beqz r1, done
+            jmp start
+        done:
+            halt
+        """)
+        assert program[0].target == 2
+        assert program[1].target == 0
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            # a comment
+            li r1, 5   // trailing comment
+
+            halt
+        """)
+        assert len(program) == 2
+
+    def test_hex_immediates(self):
+        program = assemble("li r1, 0xff\nhalt")
+        assert program[0].imm == 255
+
+    def test_memory_addressing(self):
+        program = assemble("""
+            li r1, 4
+            li r2, 99
+            store r2, 2(r1)
+            load r3, 2(r1)
+            halt
+        """)
+        assert program[2].opcode == "store"
+        assert program[2].imm == 2
+        assert program[3].opcode == "load"
+
+    def test_fp_instructions(self):
+        program = assemble("fp.mul.d f3, f1, f2\nhalt")
+        assert program[0].fp_op is FpOp.MUL_D
+        assert program[0].dest == 3
+
+    def test_fp_unary(self):
+        program = assemble("fp.itof.d f1, f2\nhalt")
+        assert program[0].fp_op is FpOp.I2F_D
+
+
+class TestAssemblyErrors:
+    @pytest.mark.parametrize("source,match", [
+        ("frob r1, r2", "unknown mnemonic"),
+        ("li x1, 5", "expected r-register"),
+        ("li r99, 5", "out of range"),
+        ("beqz r1, nowhere", "unknown label"),
+        ("fp.sqrt.d f1, f2, f3", "unknown FP mnemonic"),
+        ("load r1, r2", "bad address"),
+        ("add r1, r2", "takes rDest"),
+    ])
+    def test_errors_with_line_numbers(self, source, match):
+        with pytest.raises(AssemblyError, match=match):
+            assemble(source)
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("a:\nhalt\na:\nhalt")
+
+
+class TestRoundtrip:
+    def test_disassemble_reassembles(self):
+        source = """
+            li r1, 5
+            li r2, 0
+            li r3, 1
+            beqz r1, 7
+            add r2, r2, r1
+            sub r1, r1, r3
+            jmp 3
+            halt
+        """
+        program = assemble(source)
+        again = assemble(disassemble(program))
+        assert program == again
+
+    def test_fp_roundtrip(self):
+        program = assemble("fp.div.d f4, f2, f3\nfp.ftoi.d f1, f4\nhalt")
+        assert assemble(disassemble(program)) == program
+
+
+class TestEndToEnd:
+    def test_assembled_loop_runs(self):
+        program = assemble("""
+            li r1, 10
+            li r2, 0
+            li r3, 1
+        loop:
+            beqz r1, done
+            add r2, r2, r1
+            sub r1, r1, r3
+            jmp loop
+        done:
+            halt
+        """)
+        core = FunctionalCore()
+        core.run(program)
+        assert core.int_regs[2] == 55
+
+    def test_assembled_fp_with_injection(self):
+        program = assemble("""
+            fp.add.d f3, f1, f2
+            halt
+        """)
+        core = FunctionalCore()
+        core.fp_regs[1] = float_to_bits64(1.5)
+        core.fp_regs[2] = float_to_bits64(2.5)
+        core.run(program, inject={0: 1 << 52})
+        # Exponent LSB flipped: 4.0 -> 2.0.
+        assert bits64_to_float(core.fp_regs[3]) == 2.0

@@ -1,0 +1,147 @@
+"""Unit and property tests for the bit-manipulation primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import bitops
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert bitops.popcount64(0) == 0
+
+    def test_all_ones(self):
+        assert bitops.popcount64((1 << 64) - 1) == 64
+
+    def test_single_bits(self):
+        for bit in range(64):
+            assert bitops.popcount64(1 << bit) == 1
+
+    def test_truncates_above_64_bits(self):
+        assert bitops.popcount64(1 << 64) == 0
+
+    @given(U64)
+    def test_matches_bin_count(self, value):
+        assert bitops.popcount64(value) == bin(value).count("1")
+
+    def test_vectorised_matches_scalar(self, rng):
+        values = rng.integers(0, 1 << 64, size=500, dtype=np.uint64)
+        counts = bitops.count_ones(values)
+        for value, count in zip(values, counts):
+            assert count == bitops.popcount64(int(value))
+
+
+class TestBitLength:
+    def test_zero_is_zero(self):
+        assert bitops.bit_length64(np.array([0], dtype=np.uint64))[0] == 0
+
+    def test_vectorised_matches_int_bit_length(self, rng):
+        values = rng.integers(0, 1 << 64, size=500, dtype=np.uint64)
+        lengths = bitops.bit_length64(values)
+        for value, length in zip(values, lengths):
+            assert length == int(value).bit_length()
+
+    def test_powers_of_two(self):
+        values = np.array([1 << k for k in range(64)], dtype=np.uint64)
+        assert list(bitops.bit_length64(values)) == list(range(1, 65))
+
+
+class TestFields:
+    def test_extract_field(self):
+        assert bitops.extract_field(0b1011_0110, 2, 4) == 0b1101
+
+    def test_extract_zero_width(self):
+        assert bitops.extract_field(0xFFFF, 3, 0) == 0
+
+    def test_extract_negative_raises(self):
+        with pytest.raises(ValueError):
+            bitops.extract_field(1, -1, 2)
+
+    def test_set_bits_roundtrip(self):
+        value = bitops.set_bits(0, 8, 8, 0xAB)
+        assert bitops.extract_field(value, 8, 8) == 0xAB
+
+    def test_set_bits_masks_field(self):
+        assert bitops.set_bits(0, 0, 4, 0x1F) == 0xF
+
+    @given(U64, st.integers(0, 56), st.integers(1, 8), U64)
+    def test_set_then_extract(self, value, lo, width, field):
+        updated = bitops.set_bits(value, lo, width, field)
+        assert bitops.extract_field(updated, lo, width) == (
+            field & ((1 << width) - 1)
+        )
+
+
+def _reference_longest_chain(a: int, b: int, width: int) -> int:
+    """O(width^2) oracle for the longest carry chain."""
+    best = 0
+    for start in range(width):
+        if not ((a >> start) & 1 and (b >> start) & 1):
+            continue
+        length = 1
+        for j in range(start + 1, width):
+            if ((a >> j) & 1) ^ ((b >> j) & 1):
+                length += 1
+            else:
+                break
+        best = max(best, length)
+    return best
+
+
+class TestCarryChains:
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    @settings(max_examples=200)
+    def test_scalar_matches_oracle(self, a, b):
+        assert bitops.longest_carry_chain(a, b, 16) == (
+            _reference_longest_chain(a, b, 16)
+        )
+
+    def test_no_generate_no_chain(self):
+        assert bitops.longest_carry_chain(0b1010, 0b0101, 4) == 0
+
+    def test_full_propagate_chain(self):
+        # 0b0001 + 0b1111: carry generated at bit 0 ripples to the top.
+        assert bitops.longest_carry_chain(0b0001, 0b1111, 4) == 4
+
+    def test_vectorised_matches_scalar(self, rng):
+        a = rng.integers(0, 1 << 32, size=300, dtype=np.uint64)
+        b = rng.integers(0, 1 << 32, size=300, dtype=np.uint64)
+        lengths = bitops.carry_chain_lengths(a, b, width=32)
+        for x, y, length in zip(a, b, lengths):
+            assert length == bitops.longest_carry_chain(int(x), int(y), 32)
+
+    def test_arrival_positions_at_chain_end(self):
+        # Generate at bit 0, propagate through bits 1-3: ends at bit 3.
+        pos = bitops.carry_arrival_positions(
+            np.array([0b0001], dtype=np.uint64),
+            np.array([0b1111], dtype=np.uint64), width=4,
+        )
+        assert pos[0] == 3
+
+
+class TestTrailingZeros:
+    def test_zero_is_width(self):
+        assert bitops.trailing_zeros64(np.array([0], dtype=np.uint64))[0] == 64
+
+    def test_matches_reference(self, rng):
+        values = rng.integers(1, 1 << 63, size=300, dtype=np.uint64)
+        tz = bitops.trailing_zeros64(values)
+        for value, count in zip(values, tz):
+            assert count == (int(value) & -int(value)).bit_length() - 1
+
+
+class TestBitLists:
+    @given(U64)
+    def test_bits_roundtrip(self, value):
+        assert bitops.from_bits(bitops.bits_of(value, 64)) == value
+
+    def test_reverse_bits(self):
+        assert bitops.reverse_bits(0b0011, 4) == 0b1100
+
+    @given(st.integers(0, 0xFF))
+    def test_reverse_involution(self, value):
+        assert bitops.reverse_bits(bitops.reverse_bits(value, 8), 8) == value

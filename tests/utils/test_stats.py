@@ -1,0 +1,134 @@
+"""Tests for the evaluation-methodology statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import stats
+
+
+class TestSampleSize:
+    def test_paper_value_is_1068(self):
+        """Section V: 3% margin, 95% confidence -> 1068 runs."""
+        assert stats.confidence_sample_size() == 1068
+
+    def test_tighter_margin_needs_more(self):
+        assert stats.confidence_sample_size(error_margin=0.01) > 1068
+
+    def test_lower_confidence_needs_fewer(self):
+        assert stats.confidence_sample_size(confidence=0.90) < 1068
+
+    def test_finite_population_caps(self):
+        n = stats.confidence_sample_size(population=500)
+        assert n <= 500
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            stats.confidence_sample_size(error_margin=0.0)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            stats.confidence_sample_size(confidence=1.0)
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert abs(stats._normal_quantile(0.5)) < 1e-9
+
+    def test_95_percent(self):
+        assert stats._normal_quantile(0.975) == pytest.approx(1.95996, abs=1e-4)
+
+    def test_symmetry(self):
+        assert stats._normal_quantile(0.2) == pytest.approx(
+            -stats._normal_quantile(0.8), abs=1e-9
+        )
+
+    def test_tails(self):
+        assert stats._normal_quantile(1e-6) < -4.5
+        with pytest.raises(ValueError):
+            stats._normal_quantile(0.0)
+
+
+class TestGeometricMean:
+    def test_constant(self):
+        assert stats.geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_known_value(self):
+        assert stats.geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            stats.geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            stats.geometric_mean([])
+
+
+class TestRatioDivergence:
+    def test_identity(self):
+        assert stats.ratio_divergence(1e-3, 1e-3) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        assert stats.ratio_divergence(1e-2, 1e-3) == pytest.approx(
+            stats.ratio_divergence(1e-3, 1e-2)
+        )
+
+    def test_zero_floored(self):
+        fold = stats.ratio_divergence(0.0, 1e-3, floor=1e-6)
+        assert fold == pytest.approx(1000.0)
+
+    @given(st.floats(1e-6, 1.0), st.floats(1e-6, 1.0))
+    def test_always_at_least_one(self, a, b):
+        assert stats.ratio_divergence(a, b) >= 1.0
+
+
+class TestAverageAbsoluteError:
+    def test_exact_match_is_zero(self):
+        full = np.array([0.1, 0.0, 0.3])
+        assert stats.average_absolute_error(full, full) == 0.0
+
+    def test_known_value(self):
+        full = np.array([0.1, 0.2])
+        sampled = np.array([0.2, 0.2])
+        assert stats.average_absolute_error(full, sampled) == pytest.approx(0.5)
+
+    def test_skips_zero_reference_bits(self):
+        full = np.array([0.0, 0.5])
+        sampled = np.array([0.7, 0.5])
+        assert stats.average_absolute_error(full, sampled) == 0.0
+
+    def test_all_zero_reference(self):
+        zeros = np.zeros(4)
+        assert stats.average_absolute_error(zeros, zeros) == 0.0
+        assert stats.average_absolute_error(zeros, np.ones(4)) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            stats.average_absolute_error(np.zeros(3), np.zeros(4))
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = stats.wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+
+    def test_bounds_clamped(self):
+        lo, hi = stats.wilson_interval(0, 10)
+        assert lo == 0.0 and hi < 0.35
+        lo, hi = stats.wilson_interval(10, 10)
+        assert hi == 1.0
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = stats.wilson_interval(50, 100)
+        lo2, hi2 = stats.wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            stats.wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            stats.wilson_interval(11, 10)
