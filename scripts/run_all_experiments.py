@@ -8,6 +8,8 @@ Campaign cells use the paper's 1068 statistically sized runs.
 import argparse
 import time
 
+from repro.campaign.executor import ExecutorConfig
+from repro.campaign.report import executor_stats_table
 from repro.experiments import (
     avm_analysis,
     fig4_paths,
@@ -29,6 +31,16 @@ def main() -> None:
     parser.add_argument("--runs", type=int, default=1068)
     parser.add_argument("--scale", default="small")
     parser.add_argument("--samples", type=int, default=100_000)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="isolated worker processes per campaign cell "
+                             "(0 = serial in-process)")
+    parser.add_argument("--wall-timeout", type=float, default=300.0,
+                        help="per-run wall-clock watchdog in seconds")
+    parser.add_argument("--journal", default=None,
+                        help="append-only JSONL run journal for "
+                             "checkpoint/resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume the campaigns from an existing journal")
     args = parser.parse_args()
 
     t0 = time.time()
@@ -55,9 +67,17 @@ def main() -> None:
     print(fig8_wa.render(fig8_wa.run(context=context)), "\n")
 
     t1 = time.time()
-    campaigns = context.run_campaigns(runs=args.runs)
+    executor_config = ExecutorConfig(
+        workers=args.workers,
+        wall_clock_timeout=args.wall_timeout,
+        journal_path=args.journal,
+        resume=args.resume,
+    )
+    campaigns = context.run_campaigns(runs=args.runs,
+                                      config=executor_config)
     print(f"[{len(campaigns)} campaign cells x {args.runs} runs in "
           f"{time.time() - t1:.0f}s]\n")
+    print(executor_stats_table(campaigns), "\n")
 
     print(fig9_outcomes.render(
         fig9_outcomes.Fig9Result(results=campaigns,

@@ -1,0 +1,569 @@
+"""Fault-tolerant campaign execution engine.
+
+The paper's evaluation is tens of thousands of guest executions in which
+crashing and hanging are *expected outcomes*.  This module makes the
+harness survive them at scale:
+
+- **Process isolation** (``workers > 0``): runs execute on a pool of
+  forked worker processes.  A guest crash, segfault-equivalent worker
+  death, or unexpected exception is contained to its worker and
+  classified; the orchestrator never dies with a guest.
+- **Wall-clock watchdog**: each run gets a SIGALRM watchdog inside the
+  executing process (serial or worker), catching guests that hang
+  without charging FP ops.  In pool mode the orchestrator additionally
+  kills workers that blow through ``wall_clock_timeout`` with signals
+  blocked — the run is classified Timeout either way.
+- **Retry with bounded backoff + worker recycling**: harness-side
+  failures (exceptions outside the guest boundary, workers dying before
+  entering the guest) are retried up to ``max_retries`` times with
+  exponential backoff; the worker involved is recycled.  Guest outcomes
+  are never retried — they are the data.
+- **Checkpoint/resume**: every classified run is appended to a
+  :class:`~repro.campaign.journal.RunJournal` keyed by its deterministic
+  RNG stream name, so a killed campaign resumes exactly where it
+  stopped and replays bit-identically.
+- **Graceful degradation**: a cell whose permanently-failed-run count
+  exceeds ``degraded_threshold`` of its runs is marked degraded and
+  returned with partial :class:`OutcomeCounts` instead of aborting the
+  sweep.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import signal
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, List, Optional
+
+from repro.campaign.journal import RunJournal, RunRecord, run_key
+from repro.campaign.outcomes import Outcome, OutcomeCounts
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    RunExecution,
+)
+from repro.circuit.liberty import OperatingPoint
+from repro.errors.base import ErrorModel
+from repro.uarch.injector import MicroArchInjector
+from repro.utils.stats import confidence_sample_size
+
+
+@dataclass
+class ExecutorConfig:
+    """Knobs of the fault-tolerant executor.
+
+    ``workers=0`` (the default) runs serially in-process — the test and
+    library default.  ``wall_clock_timeout`` is per run, in seconds,
+    independent of the FP-op budget; ``None`` disables the watchdog.
+    """
+
+    workers: int = 0
+    wall_clock_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff: float = 0.05            # seconds; doubles per attempt
+    backoff_cap: float = 2.0
+    degraded_threshold: float = 0.05  # failed-run fraction before giving up
+    recycle_after: int = 500         # runs per worker before a fresh fork
+    kill_grace: float = 5.0          # parent kill = wall timeout + grace
+    journal_path: Optional[str] = None
+    resume: bool = False
+
+
+@dataclass
+class CellStats:
+    """Executor accounting for one campaign cell."""
+
+    runs: int = 0                # requested runs
+    executed: int = 0            # runs executed this invocation
+    resumed: int = 0             # runs replayed from the journal
+    failed: int = 0              # runs abandoned after retries
+    retries: int = 0             # harness-error retries performed
+    watchdog_kills: int = 0      # runs stopped by a wall-clock watchdog
+    harness_errors: int = 0      # harness-side failures observed
+    worker_restarts: int = 0     # workers recycled, replaced or killed
+    degraded: bool = False
+    wall_time: float = 0.0
+    workers: int = 0             # pool size used (0 = serial)
+
+
+class _WorkerHandle:
+    """Parent-side view of one forked campaign worker."""
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.task: Optional[int] = None
+        self.started: float = 0.0
+        self.in_guest = False
+        self.runs_done = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    def assign(self, run_index: int) -> None:
+        self.conn.send(run_index)
+        self.task = run_index
+        self.started = time.monotonic()
+        self.in_guest = False
+
+    def deadline(self, wall_clock_timeout: float, grace: float) -> float:
+        return self.started + wall_clock_timeout + grace
+
+    def finish_task(self) -> None:
+        self.task = None
+        self.in_guest = False
+        self.runs_done += 1
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        """Graceful stop, escalating to SIGTERM/SIGKILL."""
+        try:
+            if self.process.is_alive():
+                try:
+                    self.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                self.process.join(timeout)
+        finally:
+            self.kill()
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+        if self.process.is_alive():  # pragma: no cover - stuck in SIGTERM
+            self.process.kill()
+            self.process.join(1.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def _worker_main(conn, runner: CampaignRunner, model: ErrorModel,
+                 point: OperatingPoint,
+                 wall_clock_timeout: Optional[float]) -> None:
+    """Worker loop: receive run indices, send classified results.
+
+    Runs in a forked child, so ``runner``/``model``/``point`` are
+    inherited (never pickled); only the small result dicts cross the
+    pipe.  The ``guest`` marker before each guest execution lets the
+    parent tell a guest crash (classify) from a harness death (retry).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    golden = runner.golden()  # already cached pre-fork; cheap
+    injector = MicroArchInjector(golden.schedule, golden.masking)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        start = time.monotonic()
+        try:
+            execution = runner.execute_run(
+                model, point, task, injector=injector,
+                wall_clock_timeout=wall_clock_timeout,
+                guest_entry=lambda: conn.send(
+                    {"type": "guest", "run_index": task}
+                ),
+            )
+        except Exception:
+            conn.send({"type": "harness_error", "run_index": task,
+                       "error": traceback.format_exc()})
+            continue
+        conn.send({
+            "type": "result", "run_index": task,
+            "outcome": execution.outcome.value,
+            "injected": execution.injected,
+            "uarch_masked": execution.uarch_masked,
+            "watchdog": execution.watchdog,
+            "unexpected": execution.unexpected,
+            "wall_ms": (time.monotonic() - start) * 1000.0,
+        })
+    conn.close()
+
+
+class CampaignExecutor:
+    """Runs campaign cells for one benchmark, fault-tolerantly."""
+
+    def __init__(self, runner: CampaignRunner,
+                 config: Optional[ExecutorConfig] = None,
+                 journal: Optional[RunJournal] = None):
+        self.runner = runner
+        self.config = config or ExecutorConfig()
+        self._owns_journal = False
+        if journal is not None:
+            self.journal = journal
+        elif self.config.journal_path:
+            self.journal = RunJournal.open(self.config.journal_path,
+                                           seed=runner.seed,
+                                           resume=self.config.resume)
+            self._owns_journal = True
+        else:
+            self.journal = None
+
+    def close(self) -> None:
+        if self._owns_journal and self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "CampaignExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- cell execution ----------------------------------------------------------
+    def run_cell(self, model: ErrorModel, point: OperatingPoint,
+                 runs: Optional[int] = None) -> CampaignResult:
+        if runs is None:
+            runs = confidence_sample_size()  # 1068
+        start = time.monotonic()
+        golden = self.runner.golden()  # harness-side: a failure here is fatal
+        stats = CellStats(runs=runs)
+        workload = self.runner.workload.name
+
+        records: Dict[int, RunRecord] = {}
+        if self.journal is not None:
+            for idx, record in self.journal.completed_runs(
+                    workload, model.name, point.name).items():
+                if 0 <= idx < runs:
+                    records[idx] = record
+            stats.resumed = len(records)
+
+        pending = [i for i in range(runs) if i not in records]
+        if pending:
+            if self.config.workers > 0 and self._fork_available():
+                executed = self._run_pool(model, point, pending, runs, stats)
+            else:
+                executed = self._run_serial(model, point, pending, runs,
+                                            stats)
+            records.update(executed)
+
+        stats.executed = len(records) - stats.resumed
+        stats.failed = runs - len(records)
+        stats.wall_time = time.monotonic() - start
+
+        counts = OutcomeCounts()
+        uarch_masked = 0
+        no_injection = 0
+        for idx in sorted(records):
+            record = records[idx]
+            counts.record(Outcome(record.outcome))
+            uarch_masked += record.uarch_masked
+            if not record.injected:
+                no_injection += 1
+        result = CampaignResult(
+            workload=workload,
+            model=model.name,
+            point=point.name,
+            counts=counts,
+            error_ratio=model.error_ratio(golden.profile, point),
+            uarch_masked=uarch_masked,
+            runs_without_injection=no_injection,
+            seed=self.runner.seed,
+            stats=stats,
+        )
+        if self.journal is not None:
+            self.journal.record_cell(result)
+        return result
+
+    @staticmethod
+    def _fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _fail_budget(self, runs: int) -> int:
+        return int(self.config.degraded_threshold * runs)
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self.config.backoff_cap,
+                   self.config.backoff * (2.0 ** attempt))
+
+    def _journal_run(self, record: RunRecord) -> None:
+        if self.journal is not None:
+            self.journal.record_run(record)
+
+    def _journal_error(self, model: ErrorModel, point: OperatingPoint,
+                       run_index: int, attempt: int, error: str) -> None:
+        if self.journal is not None:
+            self.journal.record_harness_error(
+                run_key(self.runner.workload.name, model.name, point.name,
+                        run_index),
+                attempt, error,
+            )
+
+    def _make_record(self, model: ErrorModel, point: OperatingPoint,
+                     run_index: int, execution: RunExecution,
+                     wall_ms: float, retries: int) -> RunRecord:
+        return RunRecord(
+            workload=self.runner.workload.name, model=model.name,
+            point=point.name, run_index=run_index,
+            outcome=execution.outcome.value, injected=execution.injected,
+            uarch_masked=execution.uarch_masked,
+            watchdog=execution.watchdog, unexpected=execution.unexpected,
+            wall_ms=wall_ms, retries=retries,
+        )
+
+    # -- serial mode -------------------------------------------------------------
+    def _run_serial(self, model: ErrorModel, point: OperatingPoint,
+                    pending: List[int], runs: int,
+                    stats: CellStats) -> Dict[int, RunRecord]:
+        cfg = self.config
+        golden = self.runner.golden()
+        injector = MicroArchInjector(golden.schedule, golden.masking)
+        fail_budget = self._fail_budget(runs)
+        out: Dict[int, RunRecord] = {}
+        failed = 0
+        for run_index in pending:
+            record = None
+            for attempt in range(cfg.max_retries + 1):
+                start = time.monotonic()
+                try:
+                    execution = self.runner.execute_run(
+                        model, point, run_index, injector=injector,
+                        wall_clock_timeout=cfg.wall_clock_timeout,
+                    )
+                except Exception:
+                    stats.harness_errors += 1
+                    self._journal_error(model, point, run_index, attempt,
+                                        traceback.format_exc())
+                    if attempt < cfg.max_retries:
+                        stats.retries += 1
+                        time.sleep(self._backoff(attempt))
+                        continue
+                    break
+                if execution.watchdog:
+                    stats.watchdog_kills += 1
+                record = self._make_record(
+                    model, point, run_index, execution,
+                    wall_ms=(time.monotonic() - start) * 1000.0,
+                    retries=attempt,
+                )
+                break
+            if record is None:
+                failed += 1
+                if failed > fail_budget:
+                    stats.degraded = True
+                    break
+                continue
+            out[run_index] = record
+            self._journal_run(record)
+        return out
+
+    # -- pool mode ---------------------------------------------------------------
+    def _spawn(self, ctx, model: ErrorModel,
+               point: OperatingPoint) -> _WorkerHandle:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.runner, model, point,
+                  self.config.wall_clock_timeout),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn)
+
+    def _run_pool(self, model: ErrorModel, point: OperatingPoint,
+                  pending: List[int], runs: int,
+                  stats: CellStats) -> Dict[int, RunRecord]:
+        cfg = self.config
+        ctx = multiprocessing.get_context("fork")
+        pool_size = max(1, min(cfg.workers, len(pending)))
+        stats.workers = pool_size
+
+        queue = deque(pending)
+        retry_heap: List = []           # (eligible_at, run_index)
+        attempts: Dict[int, int] = {}   # harness attempts per run index
+        out: Dict[int, RunRecord] = {}
+        fail_budget = self._fail_budget(runs)
+        failed = 0
+
+        workers = [self._spawn(ctx, model, point) for _ in range(pool_size)]
+        try:
+            while True:
+                now = time.monotonic()
+                # Promote retries whose backoff has elapsed.
+                while retry_heap and retry_heap[0][0] <= now:
+                    queue.append(heapq.heappop(retry_heap)[1])
+                # Hand work to idle workers.
+                for index, worker in enumerate(workers):
+                    if not queue:
+                        break
+                    if worker.busy:
+                        continue
+                    run_index = queue.popleft()
+                    try:
+                        worker.assign(run_index)
+                    except (BrokenPipeError, OSError):
+                        # Worker died while idle: respawn, requeue.
+                        stats.worker_restarts += 1
+                        worker.kill()
+                        workers[index] = self._spawn(ctx, model, point)
+                        queue.appendleft(run_index)
+                busy = [w for w in workers if w.busy]
+                if not busy:
+                    if retry_heap:
+                        time.sleep(max(0.0, retry_heap[0][0]
+                                       - time.monotonic()))
+                        continue
+                    break  # all work drained
+                timeout = None
+                if cfg.wall_clock_timeout:
+                    deadline = min(
+                        w.deadline(cfg.wall_clock_timeout, cfg.kill_grace)
+                        for w in busy
+                    )
+                    timeout = max(0.0, deadline - time.monotonic())
+                if retry_heap:
+                    wait_retry = max(0.0, retry_heap[0][0] - time.monotonic())
+                    timeout = (wait_retry if timeout is None
+                               else min(timeout, wait_retry))
+                ready = set(_connection_wait([w.conn for w in busy],
+                                             timeout=timeout))
+                now = time.monotonic()
+                for index, worker in enumerate(workers):
+                    if not worker.busy:
+                        continue
+                    if worker.conn in ready:
+                        replace = self._drain_worker(
+                            worker, model, point, stats, out,
+                            attempts, retry_heap,
+                        )
+                        if replace or (worker.runs_done
+                                       >= cfg.recycle_after):
+                            stats.worker_restarts += 1
+                            worker.shutdown()
+                            workers[index] = self._spawn(ctx, model, point)
+                    elif (cfg.wall_clock_timeout
+                          and now >= worker.deadline(cfg.wall_clock_timeout,
+                                                     cfg.kill_grace)):
+                        # Watchdog kill: the in-worker SIGALRM never came
+                        # back (signals blocked / stuck in native code).
+                        run_index = worker.task
+                        worker.kill()
+                        stats.watchdog_kills += 1
+                        stats.worker_restarts += 1
+                        record = RunRecord(
+                            workload=self.runner.workload.name,
+                            model=model.name, point=point.name,
+                            run_index=run_index,
+                            outcome=Outcome.TIMEOUT.value,
+                            watchdog=True,
+                            unexpected="worker killed by watchdog",
+                            wall_ms=(now - worker.started) * 1000.0,
+                            retries=attempts.get(run_index, 0),
+                        )
+                        out[run_index] = record
+                        self._journal_run(record)
+                        workers[index] = self._spawn(ctx, model, point)
+                # Count permanently failed runs (exhausted retries).
+                failed = sum(
+                    1 for idx, n in attempts.items()
+                    if n > cfg.max_retries and idx not in out
+                )
+                if failed > fail_budget:
+                    stats.degraded = True
+                    break
+        finally:
+            for worker in workers:
+                worker.shutdown()
+        return out
+
+    def _drain_worker(self, worker: _WorkerHandle, model: ErrorModel,
+                      point: OperatingPoint, stats: CellStats,
+                      out: Dict[int, RunRecord], attempts: Dict[int, int],
+                      retry_heap: List) -> bool:
+        """Consume everything a readable worker sent.
+
+        Returns True when the worker must be replaced (it died or hit a
+        harness error and gets recycled).
+        """
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return False
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                message = None
+            if message is None:
+                # Worker died mid-task (segfault-equivalent).
+                run_index = worker.task
+                worker.process.join(1.0)
+                exitcode = worker.process.exitcode
+                if worker.in_guest:
+                    # Death inside the guest boundary: a guest Crash,
+                    # contained and classified — never retried.
+                    record = RunRecord(
+                        workload=self.runner.workload.name,
+                        model=model.name, point=point.name,
+                        run_index=run_index,
+                        outcome=Outcome.CRASH.value,
+                        unexpected=(f"worker died in guest "
+                                    f"(exit {exitcode})"),
+                        retries=attempts.get(run_index, 0),
+                    )
+                    out[run_index] = record
+                    self._journal_run(record)
+                else:
+                    self._record_harness_failure(
+                        model, point, run_index, stats, attempts,
+                        retry_heap,
+                        error=f"worker died before guest (exit {exitcode})",
+                    )
+                worker.kill()
+                return True
+            kind = message.get("type")
+            if kind == "guest":
+                worker.in_guest = True
+                continue
+            if kind == "harness_error":
+                run_index = message["run_index"]
+                self._record_harness_failure(
+                    model, point, run_index, stats, attempts, retry_heap,
+                    error=message["error"],
+                )
+                worker.finish_task()
+                return True  # recycle the worker after a harness error
+            if kind == "result":
+                run_index = message["run_index"]
+                execution = RunExecution(
+                    outcome=Outcome(message["outcome"]),
+                    injected=message["injected"],
+                    uarch_masked=message["uarch_masked"],
+                    watchdog=message["watchdog"],
+                    unexpected=message["unexpected"],
+                )
+                if execution.watchdog:
+                    stats.watchdog_kills += 1
+                record = self._make_record(
+                    model, point, run_index, execution,
+                    wall_ms=message["wall_ms"],
+                    retries=attempts.get(run_index, 0),
+                )
+                out[run_index] = record
+                self._journal_run(record)
+                worker.finish_task()
+                return False
+
+    def _record_harness_failure(self, model: ErrorModel,
+                                point: OperatingPoint, run_index: int,
+                                stats: CellStats, attempts: Dict[int, int],
+                                retry_heap: List, error: str) -> None:
+        cfg = self.config
+        attempt = attempts.get(run_index, 0)
+        stats.harness_errors += 1
+        self._journal_error(model, point, run_index, attempt, error)
+        attempts[run_index] = attempt + 1
+        if attempt < cfg.max_retries:
+            stats.retries += 1
+            heapq.heappush(
+                retry_heap,
+                (time.monotonic() + self._backoff(attempt), run_index),
+            )

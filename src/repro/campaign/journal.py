@@ -1,0 +1,201 @@
+"""Append-only run journals: checkpoint/resume for injection campaigns.
+
+Every injection run is keyed by the *name of the RNG stream that drives
+it* — ``{workload}/{model}/{point}/{run_index}`` under the campaign root
+seed.  Because every stochastic decision of a run (plan, placement,
+masking) draws exclusively from that stream, the key fully determines the
+run's outcome: a journal line *is* the run, and replaying a journal into
+an :class:`~repro.campaign.outcomes.OutcomeCounts` is bit-identical to
+re-executing the runs it records.  That is the executor's determinism
+contract, and what makes a killed campaign resumable.
+
+The journal is a JSONL file written one line per event, flushed per line
+so a SIGKILL loses at most the line being written (a truncated tail line
+is tolerated on load).  Line types:
+
+- ``meta``          — journal version + campaign root seed (first line),
+- ``run``           — one classified injection run (guest outcome),
+- ``harness_error`` — a harness-side failure (exception *outside* the
+  guest boundary), kept distinct from guest outcomes and never counted,
+- ``cell``          — summary written when a campaign cell completes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+
+def run_key(workload: str, model: str, point: str, run_index: int) -> str:
+    """The journal key of one run == the name of its RNG stream."""
+    return f"{workload}/{model}/{point}/{run_index}"
+
+
+class JournalMismatch(ValueError):
+    """The journal on disk belongs to a different campaign seed."""
+
+
+@dataclass
+class RunRecord:
+    """One classified injection run, as journaled.
+
+    ``outcome`` is the :class:`~repro.campaign.outcomes.Outcome` value
+    string; ``unexpected`` carries the repr of a guest exception that was
+    not in ``CRASH_EXCEPTIONS`` (classified Crash, but kept visible).
+    """
+
+    workload: str
+    model: str
+    point: str
+    run_index: int
+    outcome: str
+    injected: bool = True
+    uarch_masked: int = 0
+    watchdog: bool = False
+    unexpected: Optional[str] = None
+    wall_ms: float = 0.0
+    retries: int = 0
+
+    @property
+    def key(self) -> str:
+        return run_key(self.workload, self.model, self.point,
+                       self.run_index)
+
+    @property
+    def cell(self) -> Tuple[str, str, str]:
+        return (self.workload, self.model, self.point)
+
+
+class RunJournal:
+    """Append-only JSONL journal of a campaign's runs.
+
+    Open with ``resume=True`` to load existing records and append after
+    them; with ``resume=False`` (the default) an existing file is
+    truncated and the campaign starts clean.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: Union[str, Path], seed: int,
+                 resume: bool = False):
+        self.path = Path(path)
+        self.seed = int(seed)
+        self._runs: Dict[Tuple[str, str, str], Dict[int, RunRecord]] = {}
+        self._harness_errors: List[dict] = []
+        self._cells: List[dict] = []
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existing = resume and self.path.exists() and (
+            self.path.stat().st_size > 0
+        )
+        if existing:
+            self._load()
+            self._fh = open(self.path, "a", encoding="utf-8")
+        else:
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._write({"type": "meta", "version": self.VERSION,
+                         "seed": self.seed})
+
+    @classmethod
+    def open(cls, path: Union[str, Path], seed: int,
+             resume: bool = False) -> "RunJournal":
+        return cls(path, seed, resume=resume)
+
+    # -- writing ---------------------------------------------------------------
+    def _write(self, payload: dict) -> None:
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def record_run(self, record: RunRecord) -> None:
+        payload = {"type": "run", "seed": self.seed}
+        payload.update(asdict(record))
+        self._write(payload)
+        self._runs.setdefault(record.cell, {})[record.run_index] = record
+
+    def record_harness_error(self, key: str, attempt: int,
+                             error: str) -> None:
+        payload = {"type": "harness_error", "key": key,
+                   "attempt": attempt, "error": error}
+        self._write(payload)
+        self._harness_errors.append(payload)
+
+    def record_cell(self, result) -> None:
+        """Summarise a completed cell (a ``CampaignResult``-shaped object)."""
+        counts = {o.value: n for o, n in result.counts.counts.items()}
+        payload = {
+            "type": "cell", "workload": result.workload,
+            "model": result.model, "point": result.point,
+            "runs": result.counts.total, "counts": counts,
+            "error_ratio": result.error_ratio, "avm": result.avm,
+            "degraded": bool(getattr(result, "degraded", False)),
+        }
+        self._write(payload)
+        self._cells.append(payload)
+
+    # -- reading ---------------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    payload = json.loads(raw)
+                except json.JSONDecodeError:
+                    # A kill mid-write truncates at most the final line.
+                    continue
+                kind = payload.get("type")
+                if kind == "meta":
+                    if payload.get("seed") != self.seed:
+                        raise JournalMismatch(
+                            f"journal {self.path} was written for seed "
+                            f"{payload.get('seed')}, not {self.seed}"
+                        )
+                elif kind == "run":
+                    record = RunRecord(**{
+                        k: payload[k] for k in (
+                            "workload", "model", "point", "run_index",
+                            "outcome", "injected", "uarch_masked",
+                            "watchdog", "unexpected", "wall_ms", "retries",
+                        ) if k in payload
+                    })
+                    self._runs.setdefault(record.cell, {})[
+                        record.run_index
+                    ] = record
+                elif kind == "harness_error":
+                    self._harness_errors.append(payload)
+                elif kind == "cell":
+                    self._cells.append(payload)
+
+    def completed_runs(self, workload: str, model: str,
+                       point: str) -> Dict[int, RunRecord]:
+        """Journaled runs of one cell, keyed by run index."""
+        return dict(self._runs.get((workload, model, point), {}))
+
+    def harness_errors(self, key_prefix: str = "") -> List[dict]:
+        return [e for e in self._harness_errors
+                if e["key"].startswith(key_prefix)]
+
+    @property
+    def cells(self) -> List[dict]:
+        return list(self._cells)
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        total = sum(len(v) for v in self._runs.values())
+        return (f"RunJournal(path={str(self.path)!r}, seed={self.seed}, "
+                f"runs={total})")

@@ -14,17 +14,14 @@ dangerous loops.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, List, Tuple
 
 from repro.campaign.outcomes import Outcome, OutcomeCounts
-from repro.campaign.runner import CRASH_EXCEPTIONS, CampaignRunner
+from repro.campaign.runner import CampaignRunner
 from repro.circuit.liberty import OperatingPoint
 from repro.errors.wa import WaModel
 from repro.fpu.formats import FpOp
 from repro.utils.rng import RngStream
-from repro.workloads.base import GuestTimeout
 
 
 @dataclass
@@ -108,19 +105,9 @@ class RegionAnalyzer:
         return reports
 
     def _execute(self, op: FpOp, index: int, mask: int, golden) -> Outcome:
-        ctx = self.runner.workload.make_context(
-            corruption={op: {index: mask}},
-            op_budget=golden.op_budget,
-        )
-        try:
-            observed = self.runner.workload.run(ctx)
-        except GuestTimeout:
-            return Outcome.TIMEOUT
-        except CRASH_EXCEPTIONS:
-            return Outcome.CRASH
-        if self.runner.workload.outputs_equal(golden.output, observed):
-            return Outcome.MASKED
-        return Outcome.SDC
+        """Classify one pinned injection through the hardened boundary."""
+        return self.runner.run_guest({op: {index: mask}},
+                                     golden=golden).outcome
 
 
 def region_report_text(workload: str, point: OperatingPoint,

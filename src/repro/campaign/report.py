@@ -51,6 +51,32 @@ def outcome_table(results: Sequence[CampaignResult]) -> str:
     )
 
 
+def executor_stats_table(results: Sequence[CampaignResult]) -> str:
+    """Per-cell executor accounting: retries, watchdog kills, wall time."""
+    rows = []
+    for result in sorted(results, key=lambda r: (r.workload, r.point,
+                                                 r.model)):
+        stats = result.stats
+        if stats is None:
+            continue
+        rows.append([
+            result.workload, result.point, result.model,
+            stats.runs, stats.executed, stats.resumed, stats.failed,
+            stats.retries, stats.watchdog_kills, stats.harness_errors,
+            "yes" if stats.degraded else "no",
+            f"{stats.wall_time:7.2f}s",
+            stats.workers if stats.workers else "serial",
+        ])
+    if not rows:
+        return "(no executor statistics recorded)"
+    return format_table(
+        ["benchmark", "VR", "model", "runs", "exec", "resumed", "failed",
+         "retries", "wd-kills", "harness-err", "degraded", "wall",
+         "workers"],
+        rows,
+    )
+
+
 def error_ratio_table(results: Sequence[CampaignResult],
                       reference_model: str = "WA") -> str:
     """Fig. 10: injected error ratios with fold-change vs the reference."""

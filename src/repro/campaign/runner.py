@@ -8,18 +8,27 @@ injection event, places it through the microarchitecture injector, and
 executes the benchmark with the surviving corruption applied — classifying
 the result per :mod:`repro.campaign.outcomes`.
 
+All classification happens at one hardened guest boundary
+(:meth:`CampaignRunner.run_guest`): any exception escaping
+``Workload.run`` is a guest outcome (Crash/Timeout), never a harness
+abort; exceptions raised *outside* that boundary (model planning,
+placement, context construction) are harness errors and propagate to the
+caller — :mod:`repro.campaign.executor` retries and journals those.
+
 Determinism: every stochastic decision draws from a named RNG stream
 derived from (campaign seed, model, point, run index), so campaigns are
-bit-reproducible.
+bit-reproducible.  The stream name doubles as the run's journal key.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
 
-import numpy as np
-
+from repro.campaign.journal import run_key
 from repro.campaign.outcomes import Outcome, OutcomeCounts
 from repro.circuit.liberty import OperatingPoint
 from repro.errors.base import ErrorModel, WorkloadProfile
@@ -28,13 +37,14 @@ from repro.uarch.injector import MicroArchInjector
 from repro.uarch.masking import MaskingProfile
 from repro.uarch.trace import MIXES, synthesize_trace
 from repro.utils.rng import RngStream
-from repro.utils.stats import confidence_sample_size
 from repro.workloads.base import (
-    FPContext,
     GuestCrash,
     GuestTimeout,
     Workload,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaign.executor import CampaignExecutor, CellStats
 
 #: Exception types classified as Crash (process kill / panic / SIGFPE).
 CRASH_EXCEPTIONS = (
@@ -45,6 +55,45 @@ CRASH_EXCEPTIONS = (
     MemoryError,
     OverflowError,
 )
+
+
+class WatchdogTimeout(BaseException):
+    """The wall-clock watchdog expired while the guest was running.
+
+    Derives from ``BaseException`` so a guest's blanket ``except
+    Exception`` cannot swallow the watchdog: only the classification
+    boundary catches it.
+    """
+
+
+@contextmanager
+def guest_watchdog(seconds: Optional[float]):
+    """Arm a wall-clock SIGALRM watchdog around a guest execution.
+
+    Catches guests that hang without charging FP operations (so the
+    FP-op budget's :class:`GuestTimeout` never fires).  Only active on
+    the main thread of the process (the only place ``signal`` handlers
+    can be installed); a worker process runs guests on its main thread,
+    and the pool's parent-side kill deadline is the backstop for guests
+    stuck with signals blocked.
+    """
+    if (not seconds or seconds <= 0
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise WatchdogTimeout(
+            f"guest exceeded the {seconds:.3g}s wall-clock watchdog"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass
@@ -60,6 +109,17 @@ class GoldenRun:
 
 
 @dataclass
+class RunExecution:
+    """One injection run as seen by the classification boundary."""
+
+    outcome: Outcome
+    injected: bool = True        # False when the plan had no victims
+    uarch_masked: int = 0        # victims squashed/dead in the pipeline
+    watchdog: bool = False       # the wall-clock watchdog fired
+    unexpected: Optional[str] = None  # unlisted guest exception (repr)
+
+
+@dataclass
 class CampaignResult:
     """Outcome of one (benchmark, model, point) campaign cell."""
 
@@ -71,10 +131,16 @@ class CampaignResult:
     uarch_masked: int = 0       # victims squashed/dead before software
     runs_without_injection: int = 0
     seed: int = 0
+    stats: Optional["CellStats"] = None  # executor statistics, if any
 
     @property
     def avm(self) -> float:
         return self.counts.avm
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the executor abandoned part of this cell (see stats)."""
+        return bool(self.stats is not None and self.stats.degraded)
 
 
 class CampaignRunner:
@@ -124,82 +190,95 @@ class CampaignRunner:
         return self._golden
 
     # -- injection phase ---------------------------------------------------------------
-    def run_once(self, model: ErrorModel, point: OperatingPoint,
-                 run_index: int) -> Outcome:
-        """Execute a single injection run and classify it."""
+    def execute_run(self, model: ErrorModel, point: OperatingPoint,
+                    run_index: int,
+                    injector: Optional[MicroArchInjector] = None,
+                    wall_clock_timeout: Optional[float] = None,
+                    guest_entry=None) -> RunExecution:
+        """Plan, place and execute one injection run.
+
+        Exceptions raised before :meth:`run_guest` (planning/placement)
+        are harness-side and propagate; everything escaping the guest is
+        classified.  ``guest_entry``, when given, is called immediately
+        before the guest boundary is entered — pool workers use it to
+        tell the orchestrator that a subsequent death is a guest crash,
+        not a harness failure.
+        """
         golden = self.golden()
         rng = RngStream(
-            self.seed, f"{self.workload.name}/{model.name}/{point.name}/"
-            f"{run_index}"
+            self.seed,
+            run_key(self.workload.name, model.name, point.name, run_index),
         )
         plan = model.plan(golden.profile, point, rng)
-        injector = MicroArchInjector(golden.schedule, golden.masking)
+        if not plan.injects:
+            return RunExecution(Outcome.MASKED, injected=False)
+        if injector is None:
+            injector = MicroArchInjector(golden.schedule, golden.masking)
         placed = injector.place(plan, rng)
         corruption = placed.corruption_map()
         if not corruption:
             # Nothing reached architectural state: trivially masked.
-            return Outcome.MASKED
+            return RunExecution(Outcome.MASKED,
+                                uarch_masked=placed.masked_count)
+        if guest_entry is not None:
+            guest_entry()
+        execution = self.run_guest(corruption, golden=golden,
+                                   wall_clock_timeout=wall_clock_timeout)
+        execution.uarch_masked = placed.masked_count
+        return execution
+
+    def run_guest(self, corruption, golden: Optional[GoldenRun] = None,
+                  wall_clock_timeout: Optional[float] = None
+                  ) -> RunExecution:
+        """The single hardened classification boundary.
+
+        Everything escaping ``Workload.run`` is a *guest* outcome: the
+        budget's :class:`GuestTimeout` and the watchdog map to Timeout,
+        ``CRASH_EXCEPTIONS`` to Crash, and any other exception — e.g. a
+        ``ValueError`` from a corruption-deranged index — is also Crash
+        (the guest terminated abnormally) but kept visible through
+        ``RunExecution.unexpected`` so harness bugs can't hide as guest
+        noise.
+        """
+        golden = golden or self.golden()
         ctx = self.workload.make_context(
             corruption=corruption, op_budget=golden.op_budget
         )
         try:
-            observed = self.workload.run(ctx)
+            with guest_watchdog(wall_clock_timeout):
+                observed = self.workload.run(ctx)
         except GuestTimeout:
-            return Outcome.TIMEOUT
+            return RunExecution(Outcome.TIMEOUT)
+        except WatchdogTimeout:
+            return RunExecution(Outcome.TIMEOUT, watchdog=True)
         except CRASH_EXCEPTIONS:
-            return Outcome.CRASH
+            return RunExecution(Outcome.CRASH)
+        except Exception as exc:
+            return RunExecution(
+                Outcome.CRASH,
+                unexpected=f"{type(exc).__name__}: {exc}",
+            )
         if self.workload.outputs_equal(golden.output, observed):
-            return Outcome.MASKED
-        return Outcome.SDC
+            return RunExecution(Outcome.MASKED)
+        return RunExecution(Outcome.SDC)
+
+    def run_once(self, model: ErrorModel, point: OperatingPoint,
+                 run_index: int) -> Outcome:
+        """Execute a single injection run and classify it."""
+        return self.execute_run(model, point, run_index).outcome
 
     def campaign(self, model: ErrorModel, point: OperatingPoint,
-                 runs: Optional[int] = None) -> CampaignResult:
-        """Run a full campaign cell (default: the paper's 1068 runs)."""
-        if runs is None:
-            runs = confidence_sample_size()  # 1068
-        golden = self.golden()
-        counts = OutcomeCounts()
-        uarch_masked = 0
-        no_injection = 0
-        injector = MicroArchInjector(golden.schedule, golden.masking)
-        for run_index in range(runs):
-            rng = RngStream(
-                self.seed,
-                f"{self.workload.name}/{model.name}/{point.name}/{run_index}",
-            )
-            plan = model.plan(golden.profile, point, rng)
-            if not plan.injects:
-                no_injection += 1
-                counts.record(Outcome.MASKED)
-                continue
-            placed = injector.place(plan, rng)
-            uarch_masked += placed.masked_count
-            corruption = placed.corruption_map()
-            if not corruption:
-                counts.record(Outcome.MASKED)
-                continue
-            counts.record(self._execute(corruption, golden))
-        return CampaignResult(
-            workload=self.workload.name,
-            model=model.name,
-            point=point.name,
-            counts=counts,
-            error_ratio=model.error_ratio(golden.profile, point),
-            uarch_masked=uarch_masked,
-            runs_without_injection=no_injection,
-            seed=self.seed,
-        )
+                 runs: Optional[int] = None,
+                 executor: Optional["CampaignExecutor"] = None
+                 ) -> CampaignResult:
+        """Run a full campaign cell (default: the paper's 1068 runs).
 
-    def _execute(self, corruption, golden: GoldenRun) -> Outcome:
-        ctx = self.workload.make_context(
-            corruption=corruption, op_budget=golden.op_budget
-        )
-        try:
-            observed = self.workload.run(ctx)
-        except GuestTimeout:
-            return Outcome.TIMEOUT
-        except CRASH_EXCEPTIONS:
-            return Outcome.CRASH
-        if self.workload.outputs_equal(golden.output, observed):
-            return Outcome.MASKED
-        return Outcome.SDC
+        Goes through the fault-tolerant executor; without an explicit
+        ``executor`` a serial in-process one (no journal, no watchdog) is
+        used, which reproduces the historical behaviour bit-for-bit.
+        """
+        from repro.campaign.executor import CampaignExecutor
+
+        if executor is None:
+            executor = CampaignExecutor(self)
+        return executor.run_cell(model, point, runs=runs)

@@ -7,18 +7,37 @@ AVM-0 by construction), and locate each application's minimum safe
 voltage by bisection on the voltage axis — the "determine efficient
 operating settings under a desired output quality target" use-case of
 the paper's conclusions.
+
+All campaigns go through the fault-tolerant
+:class:`~repro.campaign.executor.CampaignExecutor`, so a sweep inherits
+isolation, watchdogs, retries and journaling from its configuration.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.campaign.avm import EnergyAnalysis
+from repro.campaign.executor import CampaignExecutor, ExecutorConfig
+from repro.campaign.journal import RunJournal
 from repro.campaign.runner import CampaignResult, CampaignRunner
 from repro.circuit.liberty import NOMINAL, OperatingPoint, TECHNOLOGY
 from repro.errors.characterize import characterize_wa
 from repro.errors.wa import WaModel
+
+
+def _snap_down(value: float, resolution: float) -> float:
+    """Floor ``value`` to the resolution grid.
+
+    ``round`` could land *above* the last reduction proven safe, returning
+    an unverified operating point; flooring always stays on the verified
+    side (any reduction shallower than a safe one is also safe).  The
+    epsilon absorbs binary-fraction noise so an exact grid point is not
+    floored to its neighbour below.
+    """
+    return math.floor((value + 1e-12) / resolution) * resolution
 
 
 @dataclass
@@ -59,9 +78,13 @@ class VoltageSweep:
 class SweepRunner:
     """Runs WA voltage sweeps for one benchmark."""
 
-    def __init__(self, runner: CampaignRunner, runs: int = 240):
+    def __init__(self, runner: CampaignRunner, runs: int = 240,
+                 config: Optional[ExecutorConfig] = None,
+                 journal: Optional[RunJournal] = None):
         self.runner = runner
         self.runs = runs
+        self.executor = CampaignExecutor(runner, config=config,
+                                         journal=journal)
         self._model_cache: Dict[str, WaModel] = {}
 
     def _model_for(self, points: Sequence[OperatingPoint]) -> WaModel:
@@ -70,6 +93,11 @@ class SweepRunner:
             profile = self.runner.golden().profile
             self._model_cache[key] = characterize_wa(profile, points)
         return self._model_cache[key]
+
+    def _campaign(self, model: WaModel,
+                  point: OperatingPoint) -> CampaignResult:
+        return self.runner.campaign(model, point, runs=self.runs,
+                                    executor=self.executor)
 
     def sweep(self, reductions: Sequence[float]) -> VoltageSweep:
         """Characterise + campaign across fractional voltage reductions.
@@ -87,7 +115,7 @@ class SweepRunner:
                 sweep.steps.append(SweepPoint(point=point, error_ratio=0.0,
                                               avm=0.0))
                 continue
-            result = self.runner.campaign(model, point, runs=self.runs)
+            result = self._campaign(model, point)
             sweep.steps.append(SweepPoint(point=point, error_ratio=ratio,
                                           avm=result.avm, result=result))
         return sweep
@@ -100,7 +128,9 @@ class SweepRunner:
 
         Uses the trace-level error ratio as the safety predicate when the
         target is 0 (exact and cheap); otherwise falls back to campaigns
-        at the probe points.
+        at the probe points.  The returned point is snapped *down* to the
+        resolution grid so it never crosses past the deepest reduction
+        proven safe.
         """
         if not 0.0 <= lo_reduction < hi_reduction:
             raise ValueError("need 0 <= lo < hi reductions")
@@ -112,7 +142,7 @@ class SweepRunner:
             ratio = model.error_ratio(profile, point)
             if avm_target == 0.0 or ratio == 0.0:
                 return ratio == 0.0
-            result = self.runner.campaign(model, point, runs=self.runs)
+            result = self._campaign(model, point)
             return result.avm <= avm_target
 
         if not is_safe(lo_reduction):
@@ -124,7 +154,7 @@ class SweepRunner:
                 lo = mid
             else:
                 hi = mid
-        return TECHNOLOGY.operating_point(round(lo / resolution) * resolution)
+        return TECHNOLOGY.operating_point(_snap_down(lo, resolution))
 
 
 def sweep_energy_report(sweep: VoltageSweep,

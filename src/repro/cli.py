@@ -17,7 +17,8 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.campaign.report import outcome_table
+from repro.campaign.executor import CampaignExecutor, ExecutorConfig
+from repro.campaign.report import executor_stats_table, outcome_table
 from repro.campaign.runner import CampaignRunner
 from repro.circuit.liberty import TECHNOLOGY, VR15, VR20
 from repro.errors import (
@@ -93,9 +94,18 @@ def _cmd_campaign(args) -> int:
         model = store.load_any(args.model_file)
     else:
         model = characterize_wa(profile, points)
-    results = [runner.campaign(model, point, runs=args.runs)
-               for point in points]
+    config = ExecutorConfig(
+        workers=args.workers,
+        wall_clock_timeout=args.wall_timeout,
+        journal_path=args.journal,
+        resume=args.resume,
+    )
+    with CampaignExecutor(runner, config=config) as executor:
+        results = [executor.run_cell(model, point, runs=args.runs)
+                   for point in points]
     print(outcome_table(results))
+    print()
+    print(executor_stats_table(results))
     return 0
 
 
@@ -147,6 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["tiny", "small", "paper"])
     p.add_argument("--vr", type=int, nargs="+", default=[15, 20])
     p.add_argument("--seed", type=int, default=2021)
+    p.add_argument("--workers", type=int, default=0,
+                   help="isolated worker processes (0 = serial in-process)")
+    p.add_argument("--wall-timeout", type=float, default=None,
+                   help="per-run wall-clock watchdog in seconds")
+    p.add_argument("--journal", default=None,
+                   help="append-only JSONL run journal (checkpoint file)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from an existing journal instead of "
+                        "starting clean")
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     p.add_argument("id", choices=sorted(_EXPERIMENTS))

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.campaign.executor import CampaignExecutor, ExecutorConfig
+from repro.campaign.journal import RunJournal
 from repro.campaign.runner import CampaignResult, CampaignRunner
 from repro.circuit.liberty import OperatingPoint, VR15, VR20
 from repro.errors import (
@@ -81,12 +83,31 @@ class ExperimentContext:
 
     def run_campaigns(self, runs: int,
                       benchmarks: Optional[Sequence[str]] = None,
+                      config: Optional[ExecutorConfig] = None,
+                      journal: Optional[RunJournal] = None,
                       ) -> List[CampaignResult]:
-        """All (benchmark x model x point) campaign cells (Figs. 9/10)."""
+        """All (benchmark x model x point) campaign cells (Figs. 9/10).
+
+        ``config`` selects the fault-tolerance posture (worker count,
+        watchdog, retries); one ``journal`` is shared across every cell
+        so a killed multi-benchmark campaign resumes as a whole.
+        """
+        owns_journal = False
+        if journal is None and config is not None and config.journal_path:
+            journal = RunJournal.open(config.journal_path, seed=self.seed,
+                                      resume=config.resume)
+            owns_journal = True
         results: List[CampaignResult] = []
-        for name in (benchmarks or self.benchmarks):
-            runner = self.runners[name]
-            for model in self.models_for(name):
-                for point in self.points:
-                    results.append(runner.campaign(model, point, runs=runs))
+        try:
+            for name in (benchmarks or self.benchmarks):
+                executor = CampaignExecutor(self.runners[name],
+                                            config=config, journal=journal)
+                for model in self.models_for(name):
+                    for point in self.points:
+                        results.append(
+                            executor.run_cell(model, point, runs=runs)
+                        )
+        finally:
+            if owns_journal:
+                journal.close()
         return results

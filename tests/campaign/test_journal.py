@@ -1,0 +1,93 @@
+"""Tests for the append-only run journal."""
+
+import json
+
+import pytest
+
+from repro.campaign.journal import (
+    JournalMismatch,
+    RunJournal,
+    RunRecord,
+    run_key,
+)
+
+
+def _record(run_index, outcome="Masked", **kwargs):
+    return RunRecord(workload="wl", model="WA", point="VR20",
+                     run_index=run_index, outcome=outcome, **kwargs)
+
+
+class TestRunKey:
+    def test_key_is_the_rng_stream_name(self):
+        """The determinism contract: journal key == RNG stream name."""
+        assert run_key("sobel", "WA", "VR20", 17) == "sobel/WA/VR20/17"
+
+    def test_record_key(self):
+        assert _record(3).key == "wl/WA/VR20/3"
+
+
+class TestJournal:
+    def test_meta_line_first(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal.open(path, seed=11).close()
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["type"] == "meta"
+        assert first["seed"] == 11
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal.open(path, seed=11) as journal:
+            journal.record_run(_record(0, outcome="Crash", uarch_masked=2))
+            journal.record_run(_record(1, outcome="SDC", injected=False))
+            journal.record_harness_error("wl/WA/VR20/2", 0, "boom")
+        loaded = RunJournal.open(path, seed=11, resume=True)
+        runs = loaded.completed_runs("wl", "WA", "VR20")
+        assert set(runs) == {0, 1}
+        assert runs[0].outcome == "Crash"
+        assert runs[0].uarch_masked == 2
+        assert runs[1].injected is False
+        assert loaded.harness_errors("wl/WA/VR20")[0]["error"] == "boom"
+        loaded.close()
+
+    def test_cells_are_isolated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal.open(path, seed=11) as journal:
+            journal.record_run(_record(0))
+            other = RunRecord(workload="wl", model="DA", point="VR20",
+                              run_index=0, outcome="SDC")
+            journal.record_run(other)
+        loaded = RunJournal.open(path, seed=11, resume=True)
+        assert set(loaded.completed_runs("wl", "WA", "VR20")) == {0}
+        assert loaded.completed_runs("wl", "DA", "VR20")[0].outcome == "SDC"
+        assert loaded.completed_runs("wl", "IA", "VR20") == {}
+        loaded.close()
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal.open(path, seed=11) as journal:
+            journal.record_run(_record(0))
+        with open(path, "a") as fh:
+            fh.write('{"type":"run","workload":"wl","mod')  # torn write
+        loaded = RunJournal.open(path, seed=11, resume=True)
+        assert set(loaded.completed_runs("wl", "WA", "VR20")) == {0}
+        loaded.close()
+
+    def test_seed_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal.open(path, seed=11).close()
+        with pytest.raises(JournalMismatch):
+            RunJournal.open(path, seed=12, resume=True)
+
+    def test_open_without_resume_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal.open(path, seed=11) as journal:
+            journal.record_run(_record(0))
+        fresh = RunJournal.open(path, seed=11, resume=False)
+        assert fresh.completed_runs("wl", "WA", "VR20") == {}
+        fresh.close()
+
+    def test_resume_missing_file_starts_clean(self, tmp_path):
+        journal = RunJournal.open(tmp_path / "new.jsonl", seed=11,
+                                  resume=True)
+        assert journal.completed_runs("wl", "WA", "VR20") == {}
+        journal.close()

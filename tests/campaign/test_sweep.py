@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.campaign.sweep import SweepRunner, VoltageSweep, sweep_energy_report
+from repro.campaign.sweep import (
+    SweepRunner,
+    VoltageSweep,
+    _snap_down,
+    sweep_energy_report,
+)
 from repro.circuit.liberty import NOMINAL, TECHNOLOGY
 
 
@@ -65,3 +70,35 @@ class TestVminSearch:
     def test_invalid_bounds(self, hotspot_sweeper):
         with pytest.raises(ValueError):
             hotspot_sweeper.find_vmin(lo_reduction=0.3, hi_reduction=0.1)
+
+    def test_snap_down_floors_to_grid(self):
+        assert _snap_down(0.16875, 0.01) == pytest.approx(0.16)
+        assert _snap_down(0.1499999999, 0.01) == pytest.approx(0.14)
+        # Exact grid points survive binary-fraction noise.
+        assert _snap_down(0.15, 0.01) == pytest.approx(0.15)
+        assert _snap_down(0.30000000000000004, 0.01) == pytest.approx(0.30)
+
+    def test_vmin_never_rounds_past_safe_boundary(self, tiny_runners,
+                                                  monkeypatch):
+        """Regression: round() could return an unverified (unsafe) point.
+
+        With a safety threshold of 16.9% the bisection's proven-safe lo
+        converges to 0.16875; round(lo/0.01) snaps *up* to 0.17 — past
+        the threshold — while flooring stays on the verified side.
+        """
+        threshold = 0.169
+
+        class _ThresholdModel:
+            name = "WA"
+
+            def error_ratio(self, profile, point):
+                reduction = 1.0 - point.voltage / TECHNOLOGY.nominal_voltage
+                return 0.0 if reduction <= threshold + 1e-12 else 1.0
+
+        sweeper = SweepRunner(tiny_runners["hotspot"], runs=5)
+        monkeypatch.setattr(sweeper, "_model_for",
+                            lambda points: _ThresholdModel())
+        vmin = sweeper.find_vmin(lo_reduction=0.0, hi_reduction=0.30,
+                                 resolution=0.01)
+        reduction = 1.0 - vmin.voltage / TECHNOLOGY.nominal_voltage
+        assert reduction <= threshold + 1e-9
