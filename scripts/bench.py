@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Benchmark the DTA -> model -> campaign pipeline; emit BENCH_campaign.json.
+
+Times the paper's two phases with telemetry enabled:
+
+1. *micro*: gate-level DTA on a ripple adder, exercising the eventsim
+   layer in isolation,
+2. *characterize*: WA-model development per benchmark (the FPU DTA
+   layer),
+3. *campaign*: a small injection campaign per benchmark through the
+   fault-tolerant executor.
+
+The emitted JSON carries per-phase wall times and per-layer
+(eventsim/dta/executor) timings pulled from the telemetry collector, so
+`BENCH_campaign.json` accumulates a comparable perf trajectory across
+commits.  `--validate FILE` checks an existing file against the schema
+(used by the CI bench smoke job) and exits non-zero on violations.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import telemetry                              # noqa: E402
+from repro.campaign.executor import (                    # noqa: E402
+    CampaignExecutor,
+    ExecutorConfig,
+)
+from repro.campaign.runner import CampaignRunner         # noqa: E402
+from repro.circuit.builder import build_adder, bus_values  # noqa: E402
+from repro.circuit.dta import DynamicTimingAnalysis      # noqa: E402
+from repro.circuit.liberty import VR15, VR20             # noqa: E402
+from repro.circuit.sta import StaticTimingAnalysis       # noqa: E402
+from repro.errors import characterize_wa                 # noqa: E402
+from repro.utils.rng import RngStream                    # noqa: E402
+from repro.workloads import make_workload                # noqa: E402
+
+SCHEMA_VERSION = 1
+
+DEFAULT_BENCHMARKS = ("kmeans", "hotspot")
+
+
+def _stat(snapshot, name):
+    """One stats entry of a telemetry snapshot, zeroed when absent."""
+    stat = snapshot["stats"].get(name)
+    if stat is None:
+        return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0}
+    return stat
+
+
+def bench_micro_dta(vectors: int, seed: int) -> dict:
+    """Gate-level DTA on a 16-bit adder: the eventsim-layer microbench."""
+    netlist = build_adder(16)
+    clock = StaticTimingAnalysis(netlist).critical_delay()
+    dta = DynamicTimingAnalysis(netlist, clock_ps=clock, delay_factor=1.3)
+    rng = RngStream(seed, "bench-micro")
+    stream = [
+        {**bus_values("a", 16, int(rng.integers(0, 1 << 16))),
+         **bus_values("b", 16, int(rng.integers(0, 1 << 16)))}
+        for _ in range(vectors + 1)
+    ]
+    start = time.perf_counter()
+    outcomes = dta.analyze_sequence(stream)
+    wall = time.perf_counter() - start
+    faulty = sum(1 for o in outcomes if o.faulty)
+    return {"wall_s": wall, "transitions": len(outcomes),
+            "faulty": faulty, "clock_ps": clock}
+
+
+def bench_pipeline(args) -> dict:
+    telemetry.enable()
+    points = [VR15, VR20]
+    phases = {"characterize": {"wall_s": 0.0, "per_benchmark": {}},
+              "campaign": {"wall_s": 0.0, "per_benchmark": {}}}
+
+    micro = bench_micro_dta(args.micro_vectors, args.seed)
+
+    runners = {}
+    models = {}
+    for name in args.benchmarks:
+        start = time.perf_counter()
+        workload = make_workload(name, scale=args.scale, seed=args.seed)
+        runner = CampaignRunner(workload, seed=args.seed)
+        profile = runner.golden().profile
+        models[name] = characterize_wa(profile, points,
+                                       max_samples=args.samples)
+        runners[name] = runner
+        phases["characterize"]["per_benchmark"][name] = (
+            time.perf_counter() - start
+        )
+    phases["characterize"]["wall_s"] = sum(
+        phases["characterize"]["per_benchmark"].values()
+    )
+
+    for name, runner in runners.items():
+        start = time.perf_counter()
+        config = ExecutorConfig(workers=args.workers)
+        with CampaignExecutor(runner, config=config) as executor:
+            for point in points:
+                executor.run_cell(models[name], point, runs=args.runs)
+        phases["campaign"]["per_benchmark"][name] = (
+            time.perf_counter() - start
+        )
+    phases["campaign"]["wall_s"] = sum(
+        phases["campaign"]["per_benchmark"].values()
+    )
+
+    snapshot = telemetry.snapshot()
+    telemetry.disable()
+
+    counters = snapshot["counters"]
+    layers = {
+        "eventsim": {
+            "wall_s": micro["wall_s"],
+            "simulations": int(counters.get("eventsim.simulations", 0)),
+            "events": int(counters.get("eventsim.events", 0)),
+        },
+        "dta": {
+            "wall_s": _stat(snapshot, "fpu.dta")["total"],
+            "batches": int(counters.get("fpu.dta.batches", 0)),
+            "vectors": int(counters.get("fpu.dta.vectors", 0)),
+        },
+        "executor": {
+            "wall_s": _stat(snapshot, "campaign.cell")["total"],
+            "cells": int(counters.get("campaign.cells", 0)),
+            "runs": int(counters.get("campaign.runs.executed", 0)),
+            "run_ms": _stat(snapshot, "campaign.run_ms"),
+        },
+    }
+
+    return {
+        "bench": "repro-pipeline",
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "runs": args.runs,
+            "samples": args.samples,
+            "micro_vectors": args.micro_vectors,
+            "workers": args.workers,
+            "benchmarks": list(args.benchmarks),
+        },
+        "micro_dta": micro,
+        "phases": phases,
+        "layers": layers,
+        "telemetry": snapshot,
+    }
+
+
+def validate(data) -> list:
+    """Schema check; returns a list of violations (empty = valid)."""
+    problems = []
+
+    def need(container, key, kinds, where):
+        if not isinstance(container, dict) or key not in container:
+            problems.append(f"missing {where}.{key}")
+            return None
+        value = container[key]
+        if not isinstance(value, kinds):
+            problems.append(f"{where}.{key} has type "
+                            f"{type(value).__name__}")
+            return None
+        return value
+
+    if need(data, "bench", str, "$") != "repro-pipeline":
+        problems.append("$.bench is not 'repro-pipeline'")
+    if need(data, "schema_version", int, "$") != SCHEMA_VERSION:
+        problems.append(f"$.schema_version is not {SCHEMA_VERSION}")
+    need(data, "config", dict, "$")
+
+    phases = need(data, "phases", dict, "$") or {}
+    for phase in ("characterize", "campaign"):
+        entry = need(phases, phase, dict, "$.phases") or {}
+        wall = need(entry, "wall_s", (int, float), f"$.phases.{phase}")
+        if wall is not None and wall < 0:
+            problems.append(f"$.phases.{phase}.wall_s is negative")
+        need(entry, "per_benchmark", dict, f"$.phases.{phase}")
+
+    layers = need(data, "layers", dict, "$") or {}
+    for layer in ("eventsim", "dta", "executor"):
+        entry = need(layers, layer, dict, "$.layers") or {}
+        need(entry, "wall_s", (int, float), f"$.layers.{layer}")
+    for key in ("simulations", "events"):
+        need(layers.get("eventsim", {}), key, int, "$.layers.eventsim")
+    for key in ("batches", "vectors"):
+        need(layers.get("dta", {}), key, int, "$.layers.dta")
+    for key in ("cells", "runs"):
+        need(layers.get("executor", {}), key, int, "$.layers.executor")
+
+    telemetry_block = need(data, "telemetry", dict, "$") or {}
+    need(telemetry_block, "counters", dict, "$.telemetry")
+    need(telemetry_block, "stats", dict, "$.telemetry")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the characterisation/campaign pipeline")
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "paper"])
+    parser.add_argument("--runs", type=int, default=24,
+                        help="injection runs per campaign cell")
+    parser.add_argument("--samples", type=int, default=4000,
+                        help="WA characterisation sample cap per type")
+    parser.add_argument("--micro-vectors", type=int, default=64,
+                        help="gate-level DTA transitions in the microbench")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="executor worker processes (0 = serial)")
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
+                        help="comma-separated benchmark list")
+    parser.add_argument("--output", default="BENCH_campaign.json")
+    parser.add_argument("--validate", metavar="FILE", default=None,
+                        help="validate an existing bench file and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        problems = validate(json.loads(Path(args.validate).read_text()))
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        print(f"{args.validate}: "
+              + ("INVALID" if problems else "valid"))
+        return 1 if problems else 0
+
+    args.benchmarks = tuple(
+        part.strip() for part in args.benchmarks.split(",") if part.strip()
+    )
+    data = bench_pipeline(args)
+    problems = validate(data)
+    if problems:  # pragma: no cover - self-check
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 1
+
+    out = Path(args.output)
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(f"  micro DTA : {data['micro_dta']['wall_s']:8.3f}s "
+          f"({data['micro_dta']['transitions']} transitions)")
+    for phase in ("characterize", "campaign"):
+        print(f"  {phase:<10}: {data['phases'][phase]['wall_s']:8.3f}s")
+    for layer in ("eventsim", "dta", "executor"):
+        print(f"  [{layer}] {data['layers'][layer]['wall_s']:8.3f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,7 @@ from repro.circuit.liberty import OperatingPoint
 from repro.errors.base import ErrorModel
 from repro.uarch.injector import MicroArchInjector
 from repro.utils.stats import confidence_sample_size
+from repro import telemetry
 
 
 @dataclass
@@ -156,6 +157,9 @@ def _worker_main(conn, runner: CampaignRunner, model: ErrorModel,
     parent tell a guest crash (classify) from a harness death (retry).
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Inherited-by-fork telemetry would re-ship the parent's pre-fork
+    # totals; zero it so this worker only ever reports its own deltas.
+    telemetry.reset()
     golden = runner.golden()  # already cached pre-fork; cheap
     injector = MicroArchInjector(golden.schedule, golden.masking)
     while True:
@@ -175,10 +179,13 @@ def _worker_main(conn, runner: CampaignRunner, model: ErrorModel,
                 ),
             )
         except Exception:
-            conn.send({"type": "harness_error", "run_index": task,
-                       "error": traceback.format_exc()})
+            message = {"type": "harness_error", "run_index": task,
+                       "error": traceback.format_exc()}
+            if telemetry.enabled():
+                message["telemetry"] = telemetry.get_collector().drain()
+            conn.send(message)
             continue
-        conn.send({
+        message = {
             "type": "result", "run_index": task,
             "outcome": execution.outcome.value,
             "injected": execution.injected,
@@ -186,7 +193,10 @@ def _worker_main(conn, runner: CampaignRunner, model: ErrorModel,
             "watchdog": execution.watchdog,
             "unexpected": execution.unexpected,
             "wall_ms": (time.monotonic() - start) * 1000.0,
-        })
+        }
+        if telemetry.enabled():
+            message["telemetry"] = telemetry.get_collector().drain()
+        conn.send(message)
     conn.close()
 
 
@@ -224,6 +234,13 @@ class CampaignExecutor:
                  runs: Optional[int] = None) -> CampaignResult:
         if runs is None:
             runs = confidence_sample_size()  # 1068
+        with telemetry.span("campaign.cell",
+                            workload=self.runner.workload.name,
+                            model=model.name, point=point.name, runs=runs):
+            return self._run_cell(model, point, runs)
+
+    def _run_cell(self, model: ErrorModel, point: OperatingPoint,
+                  runs: int) -> CampaignResult:
         start = time.monotonic()
         golden = self.runner.golden()  # harness-side: a failure here is fatal
         stats = CellStats(runs=runs)
@@ -259,6 +276,19 @@ class CampaignExecutor:
             uarch_masked += record.uarch_masked
             if not record.injected:
                 no_injection += 1
+        if telemetry.enabled():
+            telemetry.count("campaign.cells")
+            telemetry.count("campaign.runs.executed", stats.executed)
+            telemetry.count("campaign.runs.resumed", stats.resumed)
+            telemetry.count("campaign.runs.failed", stats.failed)
+            telemetry.count("campaign.retries", stats.retries)
+            telemetry.count("campaign.watchdog_kills", stats.watchdog_kills)
+            telemetry.count("campaign.harness_errors", stats.harness_errors)
+            telemetry.count("campaign.worker_restarts",
+                            stats.worker_restarts)
+            for outcome, n in counts.counts.items():
+                if n:
+                    telemetry.count(f"campaign.outcome.{outcome.value}", n)
         result = CampaignResult(
             workload=workload,
             model=model.name,
@@ -301,6 +331,7 @@ class CampaignExecutor:
     def _make_record(self, model: ErrorModel, point: OperatingPoint,
                      run_index: int, execution: RunExecution,
                      wall_ms: float, retries: int) -> RunRecord:
+        telemetry.observe("campaign.run_ms", wall_ms)
         return RunRecord(
             workload=self.runner.workload.name, model=model.name,
             point=point.name, run_index=run_index,
@@ -450,6 +481,8 @@ class CampaignExecutor:
                         worker.kill()
                         stats.watchdog_kills += 1
                         stats.worker_restarts += 1
+                        telemetry.observe("campaign.run_ms",
+                                          (now - worker.started) * 1000.0)
                         record = RunRecord(
                             workload=self.runner.workload.name,
                             model=model.name, point=point.name,
@@ -492,6 +525,8 @@ class CampaignExecutor:
                 message = worker.conn.recv()
             except (EOFError, OSError):
                 message = None
+            if isinstance(message, dict) and "telemetry" in message:
+                telemetry.merge(message.pop("telemetry"))
             if message is None:
                 # Worker died mid-task (segfault-equivalent).
                 run_index = worker.task

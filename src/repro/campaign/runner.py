@@ -42,6 +42,7 @@ from repro.workloads.base import (
     GuestTimeout,
     Workload,
 )
+from repro import telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.campaign.executor import CampaignExecutor, CellStats
@@ -161,6 +162,10 @@ class CampaignRunner:
         """Error-free reference run (cached)."""
         if self._golden is not None:
             return self._golden
+        with telemetry.span("campaign.golden", workload=self.workload.name):
+            return self._golden_uncached()
+
+    def _golden_uncached(self) -> GoldenRun:
         ctx = self.workload.make_context(
             record_trace=True, trace_cap=self.trace_cap
         )
@@ -205,6 +210,7 @@ class CampaignRunner:
         not a harness failure.
         """
         golden = self.golden()
+        telemetry.count("campaign.runs")
         rng = RngStream(
             self.seed,
             run_key(self.workload.name, model.name, point.name, run_index),
@@ -241,6 +247,7 @@ class CampaignRunner:
         noise.
         """
         golden = golden or self.golden()
+        telemetry.count("campaign.guest_runs")
         ctx = self.workload.make_context(
             corruption=corruption, op_budget=golden.op_budget
         )

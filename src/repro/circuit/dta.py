@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.circuit.eventsim import EventSimulator
 from repro.circuit.netlist import Netlist
+from repro import telemetry
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,8 @@ class DynamicTimingAnalysis:
         worst = max(
             (result.settle_times[n] for n in self._outputs), default=0.0
         )
+        telemetry.count("dta.transitions")
+        telemetry.observe("dta.settle_ps", worst)
         return DtaOutcome(
             golden=golden,
             sampled=sampled,
@@ -94,8 +97,10 @@ class DynamicTimingAnalysis:
         instruction's timing depends on the previous circuit state.
         """
         outcomes: List[DtaOutcome] = []
-        for previous, current in zip(vectors, vectors[1:]):
-            outcomes.append(self.analyze_transition(previous, current))
+        with telemetry.span("dta.sequence", netlist=self.netlist.name,
+                            vectors=len(vectors)):
+            for previous, current in zip(vectors, vectors[1:]):
+                outcomes.append(self.analyze_transition(previous, current))
         return outcomes
 
     def error_ratio(self, vectors: Sequence[Dict[str, int]]) -> float:

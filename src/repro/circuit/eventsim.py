@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.circuit.netlist import Gate, Netlist
+from repro import telemetry
 
 
 @dataclass
@@ -120,6 +121,8 @@ class EventSimulator:
                 heapq.heappush(heap, (out_time, counter, gate.output, out_value))
                 counter += 1
 
+        telemetry.count("eventsim.simulations")
+        telemetry.count("eventsim.events", events)
         return SimulationResult(
             final_values=values,
             settle_times=settle_times,

@@ -17,6 +17,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import telemetry
 from repro.campaign.executor import CampaignExecutor, ExecutorConfig
 from repro.campaign.report import executor_stats_table, outcome_table
 from repro.campaign.runner import CampaignRunner
@@ -27,20 +28,8 @@ from repro.errors import (
     characterize_wa,
     store,
 )
+from repro.experiments import REGISTRY, get_experiment
 from repro.workloads import WORKLOADS, make_workload
-
-_EXPERIMENTS = {
-    "fig4": "repro.experiments.fig4_paths",
-    "fig5": "repro.experiments.fig5_bitflips",
-    "fig6": "repro.experiments.fig6_convergence",
-    "fig7": "repro.experiments.fig7_ia",
-    "fig8": "repro.experiments.fig8_wa",
-    "fig9": "repro.experiments.fig9_outcomes",
-    "fig10": "repro.experiments.fig10_error_ratio",
-    "table1": "repro.experiments.table1_models",
-    "table2": "repro.experiments.table2_benchmarks",
-    "avm": "repro.experiments.avm_analysis",
-}
 
 
 def _points_for(reductions):
@@ -49,7 +38,7 @@ def _points_for(reductions):
 
 def _cmd_list(args) -> int:
     print("benchmarks: " + ", ".join(sorted(WORKLOADS)))
-    print("experiments: " + ", ".join(sorted(_EXPERIMENTS)))
+    print("experiments: " + ", ".join(sorted(REGISTRY)))
     print("scales: tiny, small, paper")
     return 0
 
@@ -85,45 +74,58 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    sink = None
+    if args.telemetry or args.trace:
+        collector = telemetry.enable()
+        if args.trace:
+            from repro.telemetry import JsonlSink
+
+            sink = JsonlSink(args.trace, meta={"benchmark": args.benchmark,
+                                               "scale": args.scale,
+                                               "seed": args.seed})
+            collector.add_sink(sink)
     points = _points_for(args.vr)
     workload = make_workload(args.benchmark, scale=args.scale,
                              seed=args.seed)
     runner = CampaignRunner(workload, seed=args.seed)
-    profile = runner.golden().profile
-    if args.model_file:
-        model = store.load_any(args.model_file)
-    else:
-        model = characterize_wa(profile, points)
-    config = ExecutorConfig(
-        workers=args.workers,
-        wall_clock_timeout=args.wall_timeout,
-        journal_path=args.journal,
-        resume=args.resume,
-    )
-    with CampaignExecutor(runner, config=config) as executor:
-        results = [executor.run_cell(model, point, runs=args.runs)
-                   for point in points]
+    try:
+        profile = runner.golden().profile
+        if args.model_file:
+            model = store.load_any(args.model_file)
+        else:
+            model = characterize_wa(profile, points)
+        config = ExecutorConfig(
+            workers=args.workers,
+            wall_clock_timeout=args.wall_timeout,
+            journal_path=args.journal,
+            resume=args.resume,
+        )
+        with CampaignExecutor(runner, config=config) as executor:
+            results = [executor.run_cell(model, point, runs=args.runs)
+                       for point in points]
+    finally:
+        if sink is not None:
+            sink.close(telemetry.get_collector())
     print(outcome_table(results))
     print()
     print(executor_stats_table(results))
+    if args.telemetry or args.trace:
+        from repro.telemetry import summary_table
+
+        print()
+        print(summary_table(telemetry.snapshot()))
+        telemetry.disable()
     return 0
 
 
 def _cmd_experiment(args) -> int:
-    import importlib
-
-    module = importlib.import_module(_EXPERIMENTS[args.id])
-    if args.id in ("fig9", "avm"):
-        result = module.run(runs=args.runs, scale=args.scale)
-    elif args.id in ("fig8", "table2", "fig10"):
-        result = module.run(scale=args.scale)
-    elif args.id == "fig6":
-        result = module.run(scale=args.scale)
-    elif args.id in ("fig4", "table1"):
-        result = module.run()
-    else:
-        result = module.run(seed=2021)
-    print(module.render(result))
+    spec = get_experiment(args.id)
+    if args.list_options:
+        print(spec.describe_options())
+        return 0
+    options = spec.parse_cli(args.options)
+    result = spec.run(**options)
+    print(spec.render(result))
     return 0
 
 
@@ -166,12 +168,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="resume from an existing journal instead of "
                         "starting clean")
+    p.add_argument("--telemetry", action="store_true",
+                   help="collect counters/spans and print a summary table")
+    p.add_argument("--trace", default=None,
+                   help="write a JSONL telemetry trace to this path "
+                        "(implies --telemetry)")
 
-    p = sub.add_parser("experiment", help="regenerate a paper artifact")
-    p.add_argument("id", choices=sorted(_EXPERIMENTS))
-    p.add_argument("--runs", type=int, default=200)
-    p.add_argument("--scale", default="small",
-                   choices=["tiny", "small", "paper"])
+    p = sub.add_parser(
+        "experiment", help="regenerate a paper artifact",
+        description="Run one registered experiment.  Options after the id "
+                    "are experiment-specific; discover them with "
+                    "--list-options.")
+    p.add_argument("id", choices=sorted(REGISTRY))
+    p.add_argument("--list-options", action="store_true",
+                   help="show the experiment's options and exit")
+    p.add_argument("options", nargs=argparse.REMAINDER,
+                   help="experiment options as --name value pairs")
 
     return parser
 

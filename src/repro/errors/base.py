@@ -55,6 +55,34 @@ class WorkloadProfile:
 
 
 @dataclass(frozen=True)
+class Provenance:
+    """Where a characterised model came from.
+
+    Carried through :mod:`repro.errors.store` artifacts so a loaded model
+    still says which benchmark trace, seed, sample budget and operating
+    points produced it (the reproducibility half of the Fig. 2 handoff).
+    """
+
+    benchmark: Optional[str] = None
+    seed: Optional[int] = None
+    samples: Optional[int] = None
+    points: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"benchmark": self.benchmark, "seed": self.seed,
+                "samples": self.samples, "points": list(self.points)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Provenance":
+        return cls(
+            benchmark=data.get("benchmark"),
+            seed=data.get("seed"),
+            samples=data.get("samples"),
+            points=tuple(data.get("points") or ()),
+        )
+
+
+@dataclass(frozen=True)
 class Victim:
     """One corrupted dynamic instruction: which, and what flips."""
 
@@ -100,6 +128,9 @@ class ErrorModel(abc.ABC):
     instruction_aware: bool = False
     workload_aware: bool = False
     microarchitecture_aware: bool = False
+    #: Characterisation origin, attached by ``characterize_*`` and
+    #: preserved across store round-trips (None for hand-built models).
+    provenance: Optional[Provenance] = None
 
     @abc.abstractmethod
     def error_ratio(self, profile: WorkloadProfile,

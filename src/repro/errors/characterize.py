@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.circuit.liberty import OperatingPoint
-from repro.errors.base import WorkloadProfile
+from repro.errors.base import Provenance, WorkloadProfile
 from repro.errors.da import DaModel
 from repro.errors.ia import IaModel, InstructionStats
 from repro.errors.wa import TraceFaults, WaModel
@@ -25,6 +25,7 @@ from repro.fpu import ops
 from repro.fpu.formats import ALL_OPS, FpOp
 from repro.fpu.unit import FPU
 from repro.utils.rng import RngStream
+from repro import telemetry
 
 #: Default operand sample per instruction type (paper: 1e6; Fig. 6 shows
 #: the convergence that justifies smaller development-time samples).
@@ -65,6 +66,7 @@ def _per_bit_counts(masks: np.ndarray, width: int) -> np.ndarray:
     return counts
 
 
+@telemetry.timed("characterize.ia")
 def characterize_ia(points: Sequence[OperatingPoint],
                     fpu: Optional[FPU] = None,
                     samples_per_op: int = DEFAULT_SAMPLE,
@@ -83,8 +85,10 @@ def characterize_ia(points: Sequence[OperatingPoint],
         point.name: {} for point in points
     }
     for op in (ops_under_test or ALL_OPS):
-        a, b = random_operands(op, samples_per_op, rng.child(op.value))
-        batch = fpu.dta(op, a, b, points)
+        with telemetry.span("characterize.ia.op", op=op.value):
+            a, b = random_operands(op, samples_per_op, rng.child(op.value))
+            batch = fpu.dta(op, a, b, points)
+        telemetry.count("characterize.ia.samples", samples_per_op)
         for point in points:
             masks = batch.masks[point.name]
             faulty = masks[masks != 0]
@@ -98,9 +102,15 @@ def characterize_ia(points: Sequence[OperatingPoint],
                 bit_probabilities=conditional,
                 sample_size=samples_per_op,
             )
-    return IaModel(stats)
+    model = IaModel(stats)
+    model.provenance = Provenance(
+        seed=seed, samples=samples_per_op,
+        points=tuple(point.name for point in points),
+    )
+    return model
 
 
+@telemetry.timed("characterize.da")
 def characterize_da(profiles: Sequence[WorkloadProfile],
                     points: Sequence[OperatingPoint],
                     fpu: Optional[FPU] = None,
@@ -135,10 +145,18 @@ def characterize_da(profiles: Sequence[WorkloadProfile],
             batch = fpu.dta(op, aa, bb, [point])
             faulty += int(np.count_nonzero(batch.masks[point.name]))
             analysed += take
+        telemetry.count("characterize.da.samples", analysed)
         ratios[point.name] = faulty / analysed if analysed else 0.0
-    return DaModel(ratios)
+    model = DaModel(ratios)
+    model.provenance = Provenance(
+        benchmark="+".join(profile.name for profile in profiles),
+        seed=seed, samples=sample_per_point,
+        points=tuple(point.name for point in points),
+    )
+    return model
 
 
+@telemetry.timed("characterize.wa")
 def characterize_wa(profile: WorkloadProfile,
                     points: Sequence[OperatingPoint],
                     fpu: Optional[FPU] = None,
@@ -161,6 +179,7 @@ def characterize_wa(profile: WorkloadProfile,
         take = min(a.size, max_samples)
         aa = a[:take]
         bb = b[:take] if b is not None else None
+        telemetry.count("characterize.wa.samples", take)
         batch = fpu.dta(op, aa, bb, points)
         for point in points:
             masks = batch.masks[point.name]
@@ -173,5 +192,10 @@ def characterize_wa(profile: WorkloadProfile,
                 analysed=take,
                 ber=counts / take,
             )
-    return WaModel(workload=profile.name, faults=faults,
-                   burst_window=burst_window)
+    model = WaModel(workload=profile.name, faults=faults,
+                    burst_window=burst_window)
+    model.provenance = Provenance(
+        benchmark=profile.name, samples=max_samples,
+        points=tuple(point.name for point in points),
+    )
+    return model

@@ -12,28 +12,40 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
+from repro.errors.base import ErrorModel, Provenance
 from repro.errors.da import DaModel
 from repro.errors.ia import IaModel
 from repro.errors.wa import WaModel
 
-_FORMAT_VERSION = 1
+#: Current schema: version 2 adds the ``provenance`` block (benchmark,
+#: seed, samples, operating points).  Version-1 artifacts (no provenance)
+#: still load; anything else is rejected with a clear error.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 PathLike = Union[str, Path]
 
 
-def _wrap(kind: str, payload: dict) -> dict:
-    return {"format_version": _FORMAT_VERSION, "model": kind,
-            "payload": payload}
+def _wrap(kind: str, payload: dict,
+          provenance: Optional[Provenance] = None) -> dict:
+    return {
+        "format_version": _FORMAT_VERSION,
+        "model": kind,
+        "provenance": provenance.to_dict() if provenance else None,
+        "payload": payload,
+    }
 
 
 def _unwrap(data: dict, expected_kind: str) -> dict:
     version = data.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in _SUPPORTED_VERSIONS)
         raise ValueError(
             f"unsupported artifact format version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
+            f"(supported: {supported}); re-run `repro characterize` to "
+            f"regenerate the artifact"
         )
     kind = data.get("model")
     if kind != expected_kind:
@@ -43,46 +55,60 @@ def _unwrap(data: dict, expected_kind: str) -> dict:
     return data["payload"]
 
 
+def _attach_provenance(model: ErrorModel, data: dict) -> ErrorModel:
+    raw = data.get("provenance")
+    if raw:
+        model.provenance = Provenance.from_dict(raw)
+    return model
+
+
 def save_da(model: DaModel, path: PathLike) -> Path:
     path = Path(path)
     payload = {
         "fixed_error_ratios": model.fixed_error_ratios,
         "injection_window": model.injection_window,
     }
-    path.write_text(json.dumps(_wrap("DA", payload), indent=2))
+    path.write_text(json.dumps(_wrap("DA", payload, model.provenance),
+                               indent=2))
     return path
 
 
 def load_da(path: PathLike) -> DaModel:
-    payload = _unwrap(json.loads(Path(path).read_text()), "DA")
-    return DaModel(payload["fixed_error_ratios"],
-                   injection_window=int(payload["injection_window"]))
+    data = json.loads(Path(path).read_text())
+    payload = _unwrap(data, "DA")
+    model = DaModel(payload["fixed_error_ratios"],
+                    injection_window=int(payload["injection_window"]))
+    return _attach_provenance(model, data)
 
 
 def save_ia(model: IaModel, path: PathLike) -> Path:
     path = Path(path)
     payload = {"stats": model.to_dict(),
                "injection_window": model.injection_window}
-    path.write_text(json.dumps(_wrap("IA", payload), indent=2))
+    path.write_text(json.dumps(_wrap("IA", payload, model.provenance),
+                               indent=2))
     return path
 
 
 def load_ia(path: PathLike) -> IaModel:
-    payload = _unwrap(json.loads(Path(path).read_text()), "IA")
+    data = json.loads(Path(path).read_text())
+    payload = _unwrap(data, "IA")
     model = IaModel.from_dict(payload["stats"])
     model.injection_window = int(payload["injection_window"])
-    return model
+    return _attach_provenance(model, data)
 
 
 def save_wa(model: WaModel, path: PathLike) -> Path:
     path = Path(path)
-    path.write_text(json.dumps(_wrap("WA", model.to_dict()), indent=2))
+    path.write_text(json.dumps(_wrap("WA", model.to_dict(),
+                                     model.provenance), indent=2))
     return path
 
 
 def load_wa(path: PathLike) -> WaModel:
-    payload = _unwrap(json.loads(Path(path).read_text()), "WA")
-    return WaModel.from_dict(payload)
+    data = json.loads(Path(path).read_text())
+    payload = _unwrap(data, "WA")
+    return _attach_provenance(WaModel.from_dict(payload), data)
 
 
 def load_any(path: PathLike):

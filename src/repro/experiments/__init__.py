@@ -1,11 +1,163 @@
-"""Per-artifact reproduction drivers.
+"""Per-artifact reproduction drivers behind one uniform Experiment API.
 
 One module per table/figure of the paper's evaluation (see DESIGN.md's
-per-experiment index).  Every driver exposes ``run(...)`` returning
-structured data plus a ``render(result)`` producing the paper-shaped text
-report; ``python -m repro.experiments.<driver>`` prints it.
+per-experiment index).  Every driver implements the same protocol:
+
+- ``run(context: ExperimentContext | None = None, **options)`` returning
+  structured data (each module's ``*Result`` dataclass),
+- ``render(result)`` producing the paper-shaped text report,
+- ``OPTIONS``: the declared, typed options ``run`` accepts, and
+- ``TITLE``: the one-line artifact description.
+
+:data:`REGISTRY` maps experiment ids to :class:`ModuleExperiment`
+adapters over those modules; the CLI's generic ``repro experiment <id>
+[--opt value ...]`` path is driven entirely by it — adding an experiment
+is one module plus one registry line, with no dispatch branching
+anywhere.  ``python -m repro.experiments.<driver>`` still prints each
+artifact directly.
 """
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.experiments.context import ExperimentContext
 
-__all__ = ["ExperimentContext"]
+__all__ = [
+    "ExperimentContext",
+    "ModuleExperiment",
+    "Option",
+    "REGISTRY",
+    "get_experiment",
+    "run_experiment",
+    "comma_separated_ints",
+    "comma_separated_names",
+]
+
+
+def comma_separated_ints(text: str) -> Tuple[int, ...]:
+    """CLI parser for list options: ``"100,1000"`` -> ``(100, 1000)``."""
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def comma_separated_names(text: str) -> Tuple[str, ...]:
+    """CLI parser for name lists: ``"cg,kmeans"`` -> ``("cg", "kmeans")``."""
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+@dataclass(frozen=True)
+class Option:
+    """One declared option of an experiment's ``run``.
+
+    ``parse`` converts the CLI string form; ``default`` is documentation
+    (the authoritative default lives in the driver's ``run`` signature,
+    which applies when the option is not passed at all).
+    """
+
+    name: str
+    parse: Callable[[str], Any]
+    default: Any
+    help: str = ""
+
+    @property
+    def flag(self) -> str:
+        return "--" + self.name.replace("_", "-")
+
+
+@dataclass
+class ModuleExperiment:
+    """Adapter presenting one driver module as an Experiment.
+
+    Modules are imported lazily so listing the registry (``repro list``)
+    stays instant and free of heavy numpy work.
+    """
+
+    id: str
+    module_path: str
+    _module: Any = field(default=None, repr=False, compare=False)
+
+    def module(self):
+        if self._module is None:
+            self._module = importlib.import_module(self.module_path)
+        return self._module
+
+    @property
+    def title(self) -> str:
+        return getattr(self.module(), "TITLE", self.id)
+
+    @property
+    def options(self) -> Tuple[Option, ...]:
+        return tuple(getattr(self.module(), "OPTIONS", ()))
+
+    def run(self, context: Optional[ExperimentContext] = None, **options):
+        return self.module().run(context=context, **options)
+
+    def render(self, result) -> str:
+        return self.module().render(result)
+
+    # -- CLI support ---------------------------------------------------------
+    def parse_cli(self, tokens) -> Dict[str, Any]:
+        """Parse ``--opt value`` tokens against the declared options.
+
+        Only explicitly provided options are returned, so the driver's
+        own ``run`` defaults stay authoritative.  Unknown flags raise
+        ``SystemExit`` with the experiment's own usage text.
+        """
+        import argparse
+
+        parser = argparse.ArgumentParser(
+            prog=f"repro experiment {self.id}",
+            description=self.title,
+        )
+        for option in self.options:
+            parser.add_argument(option.flag, dest=option.name,
+                                type=option.parse,
+                                default=argparse.SUPPRESS,
+                                help=f"{option.help} "
+                                     f"(default: {option.default})")
+        return vars(parser.parse_args(list(tokens)))
+
+    def describe_options(self) -> str:
+        lines = [f"{self.id} — {self.title}"]
+        if not self.options:
+            lines.append("  (no options)")
+        for option in self.options:
+            lines.append(f"  {option.flag:<20} {option.help} "
+                         f"(default: {option.default})")
+        return "\n".join(lines)
+
+
+#: Experiment id -> adapter, in the paper's artifact order.
+REGISTRY: Dict[str, ModuleExperiment] = {
+    spec.id: spec for spec in (
+        ModuleExperiment("fig4", "repro.experiments.fig4_paths"),
+        ModuleExperiment("fig5", "repro.experiments.fig5_bitflips"),
+        ModuleExperiment("fig6", "repro.experiments.fig6_convergence"),
+        ModuleExperiment("fig7", "repro.experiments.fig7_ia"),
+        ModuleExperiment("fig8", "repro.experiments.fig8_wa"),
+        ModuleExperiment("fig9", "repro.experiments.fig9_outcomes"),
+        ModuleExperiment("fig10", "repro.experiments.fig10_error_ratio"),
+        ModuleExperiment("table1", "repro.experiments.table1_models"),
+        ModuleExperiment("table2", "repro.experiments.table2_benchmarks"),
+        ModuleExperiment("avm", "repro.experiments.avm_analysis"),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ModuleExperiment:
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(sorted(REGISTRY))}"
+        ) from None
+
+
+def run_experiment(experiment_id: str,
+                   context: Optional[ExperimentContext] = None,
+                   **options):
+    """Run one experiment by id (the library-side generic path)."""
+    return get_experiment(experiment_id).run(context=context, **options)

@@ -20,7 +20,23 @@ from repro.campaign.avm import EnergyAnalysis, avm_divergence
 from repro.campaign.runner import CampaignResult
 from repro.circuit.liberty import NOMINAL, OperatingPoint, TECHNOLOGY
 from repro.errors import characterize_wa
-from repro.experiments.context import ExperimentContext
+from repro.experiments import Option, comma_separated_names
+from repro.experiments.context import (
+    BENCHMARKS,
+    ExperimentContext,
+    ensure_context,
+)
+
+TITLE = "Section V.C — AVM analysis, Vmin selection, energy savings"
+
+OPTIONS = (
+    Option("runs", int, 200, "injection runs per campaign cell"),
+    Option("scale", str, "small", "workload scale (tiny/small/paper)"),
+    Option("seed", int, 2021, "context/campaign seed"),
+    Option("samples", int, 50_000, "characterisation samples per type"),
+    Option("benchmarks", comma_separated_names, BENCHMARKS,
+           "comma-separated benchmark subset"),
+)
 
 
 @dataclass
@@ -43,8 +59,10 @@ class AvmResult:
 def run(context: Optional[ExperimentContext] = None,
         campaign_results: Optional[List[CampaignResult]] = None,
         runs: int = 200, scale: str = "small",
-        seed: int = 2021) -> AvmResult:
-    context = context or ExperimentContext.create(scale=scale, seed=seed)
+        seed: int = 2021, samples: int = 50_000,
+        benchmarks=None) -> AvmResult:
+    context = ensure_context(context, scale=scale, seed=seed,
+                             samples=samples, benchmarks=benchmarks)
     if campaign_results is None:
         campaign_results = context.run_campaigns(runs)
 

@@ -31,6 +31,26 @@ from repro.workloads import WORKLOADS, make_workload
 BENCHMARKS = ("sobel", "cg", "kmeans", "srad_v1", "hotspot", "is", "mg")
 
 
+def ensure_context(context: Optional["ExperimentContext"],
+                   scale: str = "small", seed: int = 2021,
+                   samples: int = 50_000,
+                   benchmarks: Optional[Sequence[str]] = None,
+                   ) -> "ExperimentContext":
+    """Reuse a supplied context or build one from the uniform options.
+
+    Every registry driver funnels its ``scale`` / ``seed`` / ``samples``
+    / ``benchmarks`` options through here, so the model-development
+    phase is configured identically no matter which artifact asked for
+    it.
+    """
+    if context is not None:
+        return context
+    return ExperimentContext.create(
+        scale=scale, seed=seed, characterization_samples=samples,
+        benchmarks=tuple(benchmarks) if benchmarks else BENCHMARKS,
+    )
+
+
 @dataclass
 class ExperimentContext:
     """Everything the evaluation-phase drivers need, built once."""

@@ -14,7 +14,22 @@ from typing import Dict, List, Optional
 from repro.campaign.avm import error_ratio_divergence
 from repro.campaign.report import error_ratio_table
 from repro.campaign.runner import CampaignResult
-from repro.experiments.context import ExperimentContext
+from repro.experiments import Option, comma_separated_names
+from repro.experiments.context import (
+    BENCHMARKS,
+    ExperimentContext,
+    ensure_context,
+)
+
+TITLE = "Fig. 10 — injected timing-error ratios across benchmarks/models"
+
+OPTIONS = (
+    Option("scale", str, "small", "workload scale (tiny/small/paper)"),
+    Option("seed", int, 2021, "context seed"),
+    Option("samples", int, 50_000, "characterisation samples per type"),
+    Option("benchmarks", comma_separated_names, BENCHMARKS,
+           "comma-separated benchmark subset"),
+)
 
 
 @dataclass
@@ -32,10 +47,12 @@ class Fig10Result:
 
 def run(context: Optional[ExperimentContext] = None,
         campaign_results: Optional[List[CampaignResult]] = None,
-        scale: str = "small", seed: int = 2021) -> Fig10Result:
+        scale: str = "small", seed: int = 2021,
+        samples: int = 50_000, benchmarks=None) -> Fig10Result:
     """Reuses Fig. 9 campaign results when provided (same cells)."""
     if campaign_results is None:
-        context = context or ExperimentContext.create(scale=scale, seed=seed)
+        context = ensure_context(context, scale=scale, seed=seed,
+                                 samples=samples, benchmarks=benchmarks)
         # Error ratios are campaign-size independent; tiny campaigns do.
         campaign_results = context.run_campaigns(runs=1)
     divergence = error_ratio_divergence(campaign_results)

@@ -18,6 +18,14 @@ from repro.circuit.sta import (
     clock_period,
     path_distribution,
 )
+from repro.experiments import Option
+
+TITLE = "Fig. 4 — distribution of the longest timing paths"
+
+OPTIONS = (
+    Option("k", int, 1000, "number of longest paths to collect"),
+    Option("seed", int, 45, "netlist-generation seed"),
+)
 
 
 @dataclass
@@ -34,8 +42,12 @@ class Fig4Result:
                    if not is_fpu_stage(stage))
 
 
-def run(k: int = 1000, seed: int = 45) -> Fig4Result:
-    """STA the core and take the K longest paths (paper: K = 1000)."""
+def run(context=None, k: int = 1000, seed: int = 45) -> Fig4Result:
+    """STA the core and take the K longest paths (paper: K = 1000).
+
+    Pure static analysis: ``context`` is accepted for API uniformity but
+    unused (no workload traces are involved).
+    """
     stages = build_core_stages(seed=seed)
     stage_list = list(stages.values())
     clock = clock_period(stage_list)

@@ -16,10 +16,19 @@ import numpy as np
 
 from repro.circuit.liberty import VR15, VR20
 from repro.errors.characterize import random_operands
+from repro.experiments import Option
 from repro.fpu.formats import OPS_DOUBLE
 from repro.fpu.unit import FPU
 from repro.utils.bitops import count_ones
 from repro.utils.rng import RngStream
+
+TITLE = "Fig. 5 — bit flips per faulty instruction output"
+
+OPTIONS = (
+    Option("samples_per_op", int, 100_000,
+           "random operand pairs per instruction type"),
+    Option("seed", int, 2021, "operand-generation seed"),
+)
 
 
 @dataclass
@@ -29,8 +38,9 @@ class Fig5Result:
     average_multi_bit: float
 
 
-def run(samples_per_op: int = 100_000, seed: int = 2021) -> Fig5Result:
-    fpu = FPU()
+def run(context=None, samples_per_op: int = 100_000,
+        seed: int = 2021) -> Fig5Result:
+    fpu = context.fpu if context is not None else FPU()
     rng = RngStream(seed, "fig5")
     points = [VR15, VR20]
     flips: Dict[str, List[np.ndarray]] = {p.name: [] for p in points}

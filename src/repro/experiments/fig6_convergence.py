@@ -15,12 +15,28 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.circuit.liberty import VR20, OperatingPoint
+from repro.circuit.liberty import VR15, VR20, OperatingPoint
 from repro.errors.base import WorkloadProfile
-from repro.fpu.formats import FpOp
+from repro.experiments import Option, comma_separated_ints
+from repro.fpu.formats import FpOp, op_by_mnemonic
 from repro.fpu.unit import FPU
 from repro.utils.rng import RngStream
 from repro.utils.stats import average_absolute_error
+
+TITLE = "Fig. 6 — BER convergence with characterisation sample size"
+
+OPTIONS = (
+    Option("benchmark", str, "is",
+           "benchmark whose trace is analysed"),
+    Option("sample_sizes", comma_separated_ints, (1_000, 10_000, 100_000),
+           "comma-separated subset sizes K"),
+    Option("op", op_by_mnemonic, FpOp.MUL_D.value,
+           "instruction type (mnemonic, e.g. fp.mul.d)"),
+    Option("point", lambda name: {"VR15": VR15, "VR20": VR20}[name], "VR20",
+           "operating point (VR15 or VR20)"),
+    Option("seed", int, 2021, "trace/subset seed"),
+    Option("scale", str, "small", "workload scale (tiny/small/paper)"),
+)
 
 
 @dataclass
@@ -44,19 +60,25 @@ def _per_bit_ber(fpu: FPU, op: FpOp, a, b, point) -> np.ndarray:
     return ber
 
 
-def run(profile: Optional[WorkloadProfile] = None,
+def run(context=None,
+        profile: Optional[WorkloadProfile] = None,
+        benchmark: str = "is",
         sample_sizes: Sequence[int] = (1_000, 10_000, 100_000),
         op: FpOp = FpOp.MUL_D,
         point: OperatingPoint = VR20,
         seed: int = 2021,
         scale: str = "small") -> Fig6Result:
-    """Needs the ``is`` benchmark's trace; builds one when not supplied."""
+    """Needs one benchmark's trace: from ``profile`` when given, else the
+    shared ``context``, else a fresh golden run of ``benchmark``."""
+    if profile is None and context is not None:
+        profile = context.profiles[benchmark]
     if profile is None:
         from repro.campaign.runner import CampaignRunner
         from repro.workloads import make_workload
 
-        runner = CampaignRunner(make_workload("is", scale=scale, seed=seed),
-                                seed=seed)
+        runner = CampaignRunner(
+            make_workload(benchmark, scale=scale, seed=seed), seed=seed
+        )
         profile = runner.golden().profile
     if op not in profile.trace_by_op:
         raise ValueError(f"profile {profile.name!r} has no {op} trace")

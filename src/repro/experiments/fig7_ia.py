@@ -18,7 +18,16 @@ import numpy as np
 from repro.circuit.liberty import VR15, VR20
 from repro.errors.characterize import characterize_ia
 from repro.errors.ia import IaModel
+from repro.experiments import Option
 from repro.fpu.formats import ALL_OPS, FpOp
+
+TITLE = "Fig. 7 — IA-model bit error-injection probabilities"
+
+OPTIONS = (
+    Option("samples_per_op", int, 100_000,
+           "random operand samples per instruction type"),
+    Option("seed", int, 2021, "characterisation seed"),
+)
 
 
 @dataclass
@@ -28,9 +37,11 @@ class Fig7Result:
     ber: Dict[str, Dict[FpOp, np.ndarray]]   # unconditional P(bit injected)
 
 
-def run(samples_per_op: int = 100_000, seed: int = 2021,
+def run(context=None, samples_per_op: int = 100_000, seed: int = 2021,
         model: Optional[IaModel] = None) -> Fig7Result:
     points = [VR15, VR20]
+    if model is None and context is not None:
+        model = context.ia
     if model is None:
         model = characterize_ia(points, samples_per_op=samples_per_op,
                                 seed=seed)

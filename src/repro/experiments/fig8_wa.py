@@ -15,8 +15,23 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.errors.wa import WaModel
-from repro.experiments.context import BENCHMARKS, ExperimentContext
+from repro.experiments import Option, comma_separated_names
+from repro.experiments.context import (
+    BENCHMARKS,
+    ExperimentContext,
+    ensure_context,
+)
 from repro.fpu.formats import FpOp
+
+TITLE = "Fig. 8 — WA-model per-bit BER per benchmark"
+
+OPTIONS = (
+    Option("scale", str, "small", "workload scale (tiny/small/paper)"),
+    Option("seed", int, 2021, "context seed"),
+    Option("samples", int, 50_000, "characterisation samples per type"),
+    Option("benchmarks", comma_separated_names, BENCHMARKS,
+           "comma-separated benchmark subset"),
+)
 
 
 @dataclass
@@ -28,8 +43,10 @@ class Fig8Result:
 
 
 def run(context: Optional[ExperimentContext] = None,
-        scale: str = "small", seed: int = 2021) -> Fig8Result:
-    context = context or ExperimentContext.create(scale=scale, seed=seed)
+        scale: str = "small", seed: int = 2021,
+        samples: int = 50_000, benchmarks=None) -> Fig8Result:
+    context = ensure_context(context, scale=scale, seed=seed,
+                             samples=samples, benchmarks=benchmarks)
     ber: Dict[str, Dict[str, Dict[str, np.ndarray]]] = {}
     mass: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name, model in context.wa.items():

@@ -15,8 +15,24 @@ from typing import List, Optional
 
 from repro.campaign.report import outcome_table
 from repro.campaign.runner import CampaignResult
-from repro.experiments.context import ExperimentContext
+from repro.experiments import Option, comma_separated_names
+from repro.experiments.context import (
+    BENCHMARKS,
+    ExperimentContext,
+    ensure_context,
+)
 from repro.utils.stats import confidence_sample_size
+
+TITLE = "Fig. 9 — injection-outcome distributions per benchmark/model/VR"
+
+OPTIONS = (
+    Option("runs", int, 1068, "injection runs per campaign cell"),
+    Option("scale", str, "small", "workload scale (tiny/small/paper)"),
+    Option("seed", int, 2021, "context/campaign seed"),
+    Option("samples", int, 50_000, "characterisation samples per type"),
+    Option("benchmarks", comma_separated_names, BENCHMARKS,
+           "comma-separated benchmark subset"),
+)
 
 
 @dataclass
@@ -34,8 +50,10 @@ class Fig9Result:
 
 def run(context: Optional[ExperimentContext] = None,
         runs: Optional[int] = None,
-        scale: str = "small", seed: int = 2021) -> Fig9Result:
-    context = context or ExperimentContext.create(scale=scale, seed=seed)
+        scale: str = "small", seed: int = 2021,
+        samples: int = 50_000, benchmarks=None) -> Fig9Result:
+    context = ensure_context(context, scale=scale, seed=seed,
+                             samples=samples, benchmarks=benchmarks)
     runs = runs if runs is not None else confidence_sample_size()
     return Fig9Result(results=context.run_campaigns(runs),
                       runs_per_cell=runs)

@@ -10,13 +10,18 @@ from repro.errors.da import DaModel
 from repro.errors.ia import IaModel
 from repro.errors.wa import WaModel
 
+TITLE = "Table I — error-model feature overview"
+
+OPTIONS = ()
+
 
 @dataclass
 class Table1Result:
     rows: List[Dict[str, object]]
 
 
-def run() -> Table1Result:
+def run(context=None) -> Table1Result:
+    """Definitional feature matrix; ``context`` accepted for uniformity."""
     models = [
         DaModel({"VR15": 1e-3, "VR20": 1e-2}),
         IaModel({"VR15": {}, "VR20": {}}),

@@ -11,8 +11,18 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.campaign.report import format_table
+from repro.experiments import Option, comma_separated_names
 from repro.experiments.context import BENCHMARKS, ExperimentContext
 from repro.workloads import make_workload
+
+TITLE = "Table II — benchmark inputs, instruction counts, classification"
+
+OPTIONS = (
+    Option("scale", str, "small", "workload scale (tiny/small/paper)"),
+    Option("seed", int, 2021, "workload seed"),
+    Option("benchmarks", comma_separated_names, BENCHMARKS,
+           "comma-separated benchmark subset"),
+)
 
 
 @dataclass
@@ -31,7 +41,8 @@ class Table2Result:
 
 
 def run(context: Optional[ExperimentContext] = None,
-        scale: str = "small", seed: int = 2021) -> Table2Result:
+        scale: str = "small", seed: int = 2021,
+        benchmarks=None) -> Table2Result:
     rows: List[Table2Row] = []
     if context is not None:
         scale = context.scale
@@ -48,7 +59,7 @@ def run(context: Optional[ExperimentContext] = None,
         return Table2Result(rows=rows, scale=scale)
     from repro.campaign.runner import CampaignRunner
 
-    for name in BENCHMARKS:
+    for name in (benchmarks if benchmarks else BENCHMARKS):
         workload = make_workload(name, scale=scale, seed=seed)
         profile = CampaignRunner(workload, seed=seed).golden().profile
         rows.append(Table2Row(

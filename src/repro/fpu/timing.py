@@ -47,6 +47,7 @@ from repro.circuit.liberty import OperatingPoint, TECHNOLOGY, VoltageScalingMode
 from repro.fpu import ops, stages
 from repro.fpu.formats import FpOp
 from repro.utils.bitops import bit_length64
+from repro import telemetry
 
 _U = np.uint64
 
@@ -283,6 +284,10 @@ class TimingModel:
             mask = build(op, signals, self.threshold(point))
             mask = np.where(signals.valid, mask, _u(0))
             out[point.name] = mask
+            if telemetry.enabled():
+                telemetry.count("fpu.timing.masks", int(mask.size))
+                telemetry.count("fpu.timing.faulty",
+                                int(np.count_nonzero(mask)))
         return out
 
     # -- per-kind mask builders --------------------------------------------------------

@@ -17,6 +17,7 @@ from repro.circuit.liberty import NOMINAL, OperatingPoint, TECHNOLOGY
 from repro.fpu import ops, softfloat
 from repro.fpu.formats import FpOp
 from repro.fpu.timing import DEFAULT_MODEL, TimingModel
+from repro import telemetry
 
 
 @dataclass
@@ -58,8 +59,13 @@ class FPU:
             points: Sequence[OperatingPoint]) -> DtaBatch:
         """Two-instance DTA over a batch (Section III.A.1, vectorised)."""
         a = np.asarray(a, dtype=np.uint64)
-        golden = ops.golden(op, a, b)
-        masks = self.timing_model.error_masks(op, a, b, points, golden=golden)
+        with telemetry.span("fpu.dta", op=op.value, batch=int(a.size)):
+            golden = ops.golden(op, a, b)
+            masks = self.timing_model.error_masks(op, a, b, points,
+                                                  golden=golden)
+        telemetry.count("fpu.dta.batches")
+        telemetry.count("fpu.dta.vectors", int(a.size))
+        telemetry.observe("fpu.dta.batch_size", int(a.size))
         return DtaBatch(op=op, golden=golden, masks=masks)
 
     def nominal_is_clean(self, op: FpOp, a: np.ndarray,

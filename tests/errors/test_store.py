@@ -23,7 +23,8 @@ class TestDaRoundtrip:
         path = store.save_da(DaModel({"VR15": 1e-3}), tmp_path / "da.json")
         data = json.loads(path.read_text())
         assert data["model"] == "DA"
-        assert data["format_version"] == 1
+        assert data["format_version"] == 2
+        assert data["provenance"] is None  # hand-built model
 
 
 class TestIaRoundtrip:
@@ -87,3 +88,60 @@ class TestLoadAny:
                                     "payload": {}}))
         with pytest.raises(ValueError, match="unknown model kind"):
             store.load_any(path)
+
+
+class TestProvenance:
+    def test_v1_artifact_still_loads(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps({
+            "format_version": 1, "model": "DA",
+            "payload": {"fixed_error_ratios": {"VR15": 1e-3},
+                        "injection_window": 1000},
+        }))
+        model = store.load_da(path)
+        assert model.fixed_error_ratios == {"VR15": 1e-3}
+        assert model.provenance is None
+
+    def test_characterized_models_carry_provenance(self, tmp_path,
+                                                   tiny_profiles):
+        from repro.errors import characterize_da, characterize_wa
+
+        profile = tiny_profiles["kmeans"]
+        wa = characterize_wa(profile, [VR15, VR20])
+        assert wa.provenance.benchmark == "kmeans"
+        assert wa.provenance.points == ("VR15", "VR20")
+        da = characterize_da([profile], [VR20], sample_per_point=500,
+                             seed=7)
+        assert da.provenance.benchmark == "kmeans"
+        assert da.provenance.seed == 7
+        assert da.provenance.samples == 500
+
+    def test_load_any_roundtrip_preserves_provenance(self, tmp_path,
+                                                     tiny_profiles):
+        from repro.errors import characterize_wa
+
+        model = characterize_wa(tiny_profiles["cg"], [VR15, VR20],
+                                max_samples=2000)
+        path = store.save_wa(model, tmp_path / "wa.json")
+        loaded = store.load_any(path)
+        assert loaded.name == "WA"
+        assert loaded.provenance == model.provenance
+        assert loaded.provenance.benchmark == "cg"
+        assert loaded.provenance.samples == 2000
+        assert loaded.provenance.points == ("VR15", "VR20")
+
+    def test_ia_provenance_roundtrip(self, tmp_path, ia_model):
+        from repro.errors.base import Provenance
+
+        ia_model.provenance = Provenance(seed=2021, samples=4000,
+                                         points=("VR15", "VR20"))
+        path = store.save_ia(ia_model, tmp_path / "ia.json")
+        loaded = store.load_any(path)
+        assert loaded.provenance == ia_model.provenance
+
+    def test_future_version_rejected_with_hint(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format_version": 3, "model": "DA",
+                                    "payload": {}}))
+        with pytest.raises(ValueError, match="supported: 1, 2"):
+            store.load_da(path)

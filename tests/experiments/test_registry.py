@@ -1,0 +1,98 @@
+"""Tests for the unified experiment registry and generic CLI dispatch.
+
+Every registered id must run end-to-end through ``repro experiment <id>``
+with no per-id branching — options are declared by the driver modules
+and parsed generically.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    REGISTRY,
+    comma_separated_ints,
+    comma_separated_names,
+    get_experiment,
+    run_experiment,
+)
+
+#: Cheapest viable option set per experiment for the end-to-end CLI runs.
+TINY_ARGS = {
+    "fig4": ["--k", "50"],
+    "fig5": ["--samples-per-op", "2000"],
+    "fig6": ["--scale", "tiny", "--benchmark", "kmeans",
+             "--sample-sizes", "300,600"],
+    "fig7": ["--samples-per-op", "2000"],
+    "fig8": ["--scale", "tiny", "--samples", "1000",
+             "--benchmarks", "kmeans"],
+    "fig9": ["--scale", "tiny", "--samples", "1000",
+             "--benchmarks", "kmeans", "--runs", "4"],
+    "fig10": ["--scale", "tiny", "--samples", "1000",
+              "--benchmarks", "kmeans"],
+    "table1": [],
+    "table2": ["--scale", "tiny", "--benchmarks", "kmeans,hotspot"],
+    "avm": ["--scale", "tiny", "--samples", "1000",
+            "--benchmarks", "kmeans", "--runs", "4"],
+}
+
+
+class TestRegistry:
+    def test_all_ten_ids_registered(self):
+        assert sorted(REGISTRY) == sorted(
+            ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+             "table1", "table2", "avm"]
+        )
+
+    def test_every_spec_declares_protocol(self):
+        for spec in REGISTRY.values():
+            module = spec.module()
+            assert callable(module.run), spec.id
+            assert callable(module.render), spec.id
+            assert isinstance(spec.title, str) and spec.title, spec.id
+            for option in spec.options:
+                assert option.flag.startswith("--")
+
+    def test_get_experiment_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_parse_cli_returns_only_given_options(self):
+        spec = get_experiment("fig9")
+        assert spec.parse_cli([]) == {}
+        parsed = spec.parse_cli(["--runs", "4", "--benchmarks", "cg,is"])
+        assert parsed == {"runs": 4, "benchmarks": ("cg", "is")}
+
+    def test_parse_cli_rejects_unknown_flag(self):
+        with pytest.raises(SystemExit):
+            get_experiment("table1").parse_cli(["--bogus", "1"])
+
+    def test_option_parsers(self):
+        assert comma_separated_ints("1,20,300") == (1, 20, 300)
+        assert comma_separated_names(" cg , kmeans ") == ("cg", "kmeans")
+
+    def test_run_experiment_by_id(self):
+        result = run_experiment("table1")
+        assert len(result.rows) == 3
+
+
+class TestGenericCliDispatch:
+    @pytest.mark.parametrize("experiment_id", sorted(TINY_ARGS))
+    def test_id_runs_through_cli(self, experiment_id, capsys):
+        code = main(["experiment", experiment_id]
+                    + TINY_ARGS[experiment_id])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.strip(), experiment_id
+
+    def test_list_options(self, capsys):
+        assert main(["experiment", "--list-options", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "--runs" in out and "--benchmarks" in out
+
+    def test_list_options_no_options(self, capsys):
+        assert main(["experiment", "--list-options", "table1"]) == 0
+        assert "no options" in capsys.readouterr().out
+
+    def test_unknown_option_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table1", "--bogus", "1"])
