@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Regression gate over BENCH_campaign.json: candidate vs baseline.
+
+Compares a freshly measured pipeline benchmark (``scripts/bench.py
+--output BENCH_fresh.json``) against the committed baseline, phase by
+phase and layer by layer, and exits non-zero when any timing regressed
+past the tolerance — the CI bench smoke job's tripwire against perf
+regressions sneaking in as "just one more abstraction layer".
+
+Only wall times gate; throughput counters (transitions, vectors, runs)
+are compared for config drift and reported, never failed on.  Times
+under ``--min-seconds`` are ignored entirely: at micro scale the noise
+floor of a shared CI box exceeds any signal.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _flatten_times(report: dict) -> dict:
+    """{metric name: wall seconds} for every gated timing in a report."""
+    out = {}
+    micro = report.get("micro_dta") or {}
+    if "wall_s" in micro:
+        out["micro_dta"] = float(micro["wall_s"])
+    for phase, data in (report.get("phases") or {}).items():
+        if "wall_s" in data:
+            out[f"phase.{phase}"] = float(data["wall_s"])
+        for bench, wall in (data.get("per_benchmark") or {}).items():
+            out[f"phase.{phase}.{bench}"] = float(wall)
+    for layer, data in (report.get("layers") or {}).items():
+        if "wall_s" in data:
+            out[f"layer.{layer}"] = float(data["wall_s"])
+    return out
+
+
+def compare(baseline: dict, candidate: dict, tolerance: float,
+            min_seconds: float):
+    """Per-metric deltas plus the list of metrics past the tolerance.
+
+    Returns ``(rows, regressions, config_mismatch)`` where each row is
+    ``(metric, base_s, cand_s, delta_fraction_or_None, verdict)``.
+    """
+    base_times = _flatten_times(baseline)
+    cand_times = _flatten_times(candidate)
+    rows = []
+    regressions = []
+    for metric in sorted(set(base_times) | set(cand_times)):
+        base = base_times.get(metric)
+        cand = cand_times.get(metric)
+        if base is None or cand is None:
+            rows.append((metric, base, cand, None, "only-one-side"))
+            continue
+        if base < min_seconds and cand < min_seconds:
+            rows.append((metric, base, cand, None, "below-noise-floor"))
+            continue
+        delta = (cand - base) / base if base > 0 else float("inf")
+        if delta > tolerance:
+            verdict = "REGRESSED"
+            regressions.append(metric)
+        elif delta < -tolerance:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append((metric, base, cand, delta, verdict))
+    mismatch = (baseline.get("config") or {}) != (candidate.get("config")
+                                                  or {})
+    return rows, regressions, mismatch
+
+
+def render(rows, tolerance: float) -> str:
+    headers = ("metric", "baseline", "candidate", "delta", "verdict")
+    table = [headers, tuple("-" * len(h) for h in headers)]
+    for metric, base, cand, delta, verdict in rows:
+        table.append((
+            metric,
+            "-" if base is None else f"{base:.4f}s",
+            "-" if cand is None else f"{cand:.4f}s",
+            "-" if delta is None else f"{delta:+.1%}",
+            verdict,
+        ))
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+             for row in table]
+    lines.append(f"(gate: candidate > baseline x {1 + tolerance:.2f})")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate a fresh pipeline benchmark against the "
+                    "committed baseline.")
+    parser.add_argument("--baseline", default="BENCH_campaign.json",
+                        help="committed reference report")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly measured report to gate")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slowdown per metric "
+                             "(default 0.25 = +25%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.01,
+                        help="ignore metrics below this wall time on "
+                             "both sides (noise floor)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+        candidate = json.loads(Path(args.candidate).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_check: cannot load reports: {exc}", file=sys.stderr)
+        return 2
+    if baseline.get("schema_version") != candidate.get("schema_version"):
+        print("bench_check: schema_version mismatch "
+              f"({baseline.get('schema_version')} vs "
+              f"{candidate.get('schema_version')}); re-measure the "
+              "baseline", file=sys.stderr)
+        return 2
+
+    rows, regressions, mismatch = compare(
+        baseline, candidate, args.tolerance, args.min_seconds)
+    print(render(rows, args.tolerance))
+    if mismatch:
+        print("warning: benchmark configs differ between baseline and "
+              "candidate; deltas may not be comparable")
+    if regressions:
+        print(f"bench_check: {len(regressions)} metric(s) regressed past "
+              f"+{args.tolerance:.0%}: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print("bench_check: no regression past tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,7 @@ from repro.errors.base import ErrorModel
 from repro.uarch.injector import MicroArchInjector
 from repro.utils.stats import confidence_sample_size
 from repro import telemetry
+from repro.observe import flight
 
 
 @dataclass
@@ -160,44 +161,66 @@ def _worker_main(conn, runner: CampaignRunner, model: ErrorModel,
     # Inherited-by-fork telemetry would re-ship the parent's pre-fork
     # totals; zero it so this worker only ever reports its own deltas.
     telemetry.reset()
-    golden = runner.golden()  # already cached pre-fork; cheap
-    injector = MicroArchInjector(golden.schedule, golden.masking)
-    while True:
-        try:
-            task = conn.recv()
-        except (EOFError, OSError):
-            break
-        if task is None:
-            break
-        start = time.monotonic()
-        try:
-            execution = runner.execute_run(
-                model, point, task, injector=injector,
-                wall_clock_timeout=wall_clock_timeout,
-                guest_entry=lambda: conn.send(
-                    {"type": "guest", "run_index": task}
-                ),
-            )
-        except Exception:
-            message = {"type": "harness_error", "run_index": task,
-                       "error": traceback.format_exc()}
+    # Fork safety: inherited file sinks share the parent's fd offset, so
+    # a worker writing them would interleave with (and tear) the parent's
+    # trace.  Detach and close the copies — only the parent writes files;
+    # worker telemetry and flight captures ride the result pipe instead.
+    collector = telemetry.get_collector()
+    if collector is not None:
+        for sink in collector.detach_sinks():
+            try:
+                sink.close()
+            except Exception:  # pragma: no cover - sink already closed
+                pass
+    recorder = flight.get_recorder()
+    if recorder is not None:
+        recorder.sink = None
+        recorder.keep_in_memory = False
+    try:
+        golden = runner.golden()  # already cached pre-fork; cheap
+        injector = MicroArchInjector(golden.schedule, golden.masking)
+        while True:
+            try:
+                task = conn.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                break
+            start = time.monotonic()
+            try:
+                execution = runner.execute_run(
+                    model, point, task, injector=injector,
+                    wall_clock_timeout=wall_clock_timeout,
+                    guest_entry=lambda: conn.send(
+                        {"type": "guest", "run_index": task}
+                    ),
+                )
+            except Exception:
+                message = {"type": "harness_error", "run_index": task,
+                           "error": traceback.format_exc()}
+                if telemetry.enabled():
+                    message["telemetry"] = telemetry.get_collector().drain()
+                conn.send(message)
+                continue
+            message = {
+                "type": "result", "run_index": task,
+                "outcome": execution.outcome.value,
+                "injected": execution.injected,
+                "uarch_masked": execution.uarch_masked,
+                "watchdog": execution.watchdog,
+                "unexpected": execution.unexpected,
+                "wall_ms": (time.monotonic() - start) * 1000.0,
+            }
+            if execution.flight is not None:
+                message["flight"] = execution.flight
             if telemetry.enabled():
                 message["telemetry"] = telemetry.get_collector().drain()
             conn.send(message)
-            continue
-        message = {
-            "type": "result", "run_index": task,
-            "outcome": execution.outcome.value,
-            "injected": execution.injected,
-            "uarch_masked": execution.uarch_masked,
-            "watchdog": execution.watchdog,
-            "unexpected": execution.unexpected,
-            "wall_ms": (time.monotonic() - start) * 1000.0,
-        }
-        if telemetry.enabled():
-            message["telemetry"] = telemetry.get_collector().drain()
-        conn.send(message)
-    conn.close()
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - pipe already gone
+            pass
 
 
 class CampaignExecutor:
@@ -205,9 +228,11 @@ class CampaignExecutor:
 
     def __init__(self, runner: CampaignRunner,
                  config: Optional[ExecutorConfig] = None,
-                 journal: Optional[RunJournal] = None):
+                 journal: Optional[RunJournal] = None,
+                 monitor=None):
         self.runner = runner
         self.config = config or ExecutorConfig()
+        self.monitor = monitor
         self._owns_journal = False
         if journal is not None:
             self.journal = journal
@@ -220,6 +245,11 @@ class CampaignExecutor:
             self.journal = None
 
     def close(self) -> None:
+        recorder = flight.get_recorder()
+        if recorder is not None:
+            recorder.flush()
+        if self.monitor is not None:
+            self.monitor.close()
         if self._owns_journal and self.journal is not None:
             self.journal.close()
 
@@ -253,6 +283,10 @@ class CampaignExecutor:
                 if 0 <= idx < runs:
                     records[idx] = record
             stats.resumed = len(records)
+
+        if self.monitor is not None:
+            self.monitor.begin_cell(workload, model.name, point.name,
+                                    runs, resumed=stats.resumed)
 
         pending = [i for i in range(runs) if i not in records]
         if pending:
@@ -302,6 +336,11 @@ class CampaignExecutor:
         )
         if self.journal is not None:
             self.journal.record_cell(result)
+        recorder = flight.get_recorder()
+        if recorder is not None:
+            recorder.flush()
+        if self.monitor is not None:
+            self.monitor.end_cell(result)
         return result
 
     @staticmethod
@@ -318,6 +357,33 @@ class CampaignExecutor:
     def _journal_run(self, record: RunRecord) -> None:
         if self.journal is not None:
             self.journal.record_run(record)
+
+    def _commit_run(self, record: RunRecord, stats: CellStats,
+                    flight_payload: Optional[dict] = None) -> None:
+        """Everything that happens to one classified run, in order:
+        flight emission (parent side only), journal append, monitor tick.
+        """
+        if flight_payload is not None:
+            flight.emit_run(flight_payload, wall_ms=record.wall_ms,
+                            retries=record.retries)
+        self._journal_run(record)
+        if self.monitor is not None:
+            self.monitor.on_run(record, stats)
+
+    def _flight_truncated(self, model: ErrorModel, point: OperatingPoint,
+                          record: RunRecord) -> None:
+        """Record a run whose worker died holding the victim chain."""
+        if not flight.enabled():
+            return
+        flight.emit_truncated(
+            self.runner.workload.name, model.name, point.name,
+            record.run_index, self.runner.seed,
+            run_key(self.runner.workload.name, model.name, point.name,
+                    record.run_index),
+            record.outcome, watchdog=record.watchdog,
+            unexpected=record.unexpected, wall_ms=record.wall_ms,
+            retries=record.retries,
+        )
 
     def _journal_error(self, model: ErrorModel, point: OperatingPoint,
                        run_index: int, attempt: int, error: str) -> None:
@@ -384,7 +450,7 @@ class CampaignExecutor:
                     break
                 continue
             out[run_index] = record
-            self._journal_run(record)
+            self._commit_run(record, stats, execution.flight)
         return out
 
     # -- pool mode ---------------------------------------------------------------
@@ -494,7 +560,8 @@ class CampaignExecutor:
                             retries=attempts.get(run_index, 0),
                         )
                         out[run_index] = record
-                        self._journal_run(record)
+                        self._flight_truncated(model, point, record)
+                        self._commit_run(record, stats)
                         workers[index] = self._spawn(ctx, model, point)
                 # Count permanently failed runs (exhausted retries).
                 failed = sum(
@@ -545,7 +612,8 @@ class CampaignExecutor:
                         retries=attempts.get(run_index, 0),
                     )
                     out[run_index] = record
-                    self._journal_run(record)
+                    self._flight_truncated(model, point, record)
+                    self._commit_run(record, stats)
                 else:
                     self._record_harness_failure(
                         model, point, run_index, stats, attempts,
@@ -583,7 +651,7 @@ class CampaignExecutor:
                     retries=attempts.get(run_index, 0),
                 )
                 out[run_index] = record
-                self._journal_run(record)
+                self._commit_run(record, stats, message.get("flight"))
                 worker.finish_task()
                 return False
 

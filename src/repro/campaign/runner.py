@@ -43,6 +43,7 @@ from repro.workloads.base import (
     Workload,
 )
 from repro import telemetry
+from repro.observe import flight
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.campaign.executor import CampaignExecutor, CellStats
@@ -118,6 +119,8 @@ class RunExecution:
     uarch_masked: int = 0        # victims squashed/dead in the pipeline
     watchdog: bool = False       # the wall-clock watchdog fired
     unexpected: Optional[str] = None  # unlisted guest exception (repr)
+    sdc_magnitude: Optional[float] = None  # rel. output error (SDC only)
+    flight: Optional[dict] = None  # flight-record payload, recorder on
 
 
 @dataclass
@@ -215,22 +218,53 @@ class CampaignRunner:
             self.seed,
             run_key(self.workload.name, model.name, point.name, run_index),
         )
+        capture = flight.begin_capture(
+            self.workload.name, model.name, point.name, run_index,
+            self.seed, rng.name,
+        )
         plan = model.plan(golden.profile, point, rng)
         if not plan.injects:
-            return RunExecution(Outcome.MASKED, injected=False)
+            return self._finish(
+                RunExecution(Outcome.MASKED, injected=False), capture)
         if injector is None:
             injector = MicroArchInjector(golden.schedule, golden.masking)
         placed = injector.place(plan, rng)
         corruption = placed.corruption_map()
+        if capture is not None:
+            capture["victims"] = [
+                {"op": p.victim.op.value, "index": p.victim.index,
+                 "bitmask": p.victim.bitmask, "cycle": p.cycle,
+                 "masked": p.uarch_masked, "mask_cause": p.mask_cause}
+                for p in placed.placements
+            ]
+            capture["corruption_size"] = sum(
+                len(per_op) for per_op in corruption.values())
         if not corruption:
             # Nothing reached architectural state: trivially masked.
-            return RunExecution(Outcome.MASKED,
-                                uarch_masked=placed.masked_count)
+            return self._finish(
+                RunExecution(Outcome.MASKED,
+                             uarch_masked=placed.masked_count), capture)
         if guest_entry is not None:
             guest_entry()
         execution = self.run_guest(corruption, golden=golden,
                                    wall_clock_timeout=wall_clock_timeout)
         execution.uarch_masked = placed.masked_count
+        return self._finish(execution, capture)
+
+    @staticmethod
+    def _finish(execution: RunExecution,
+                capture: Optional[dict]) -> RunExecution:
+        """Attach the completed flight capture to a run's execution."""
+        if capture is not None:
+            capture["injected"] = execution.injected
+            capture["outcome"] = execution.outcome.value
+            if execution.sdc_magnitude is not None:
+                capture["sdc_magnitude"] = execution.sdc_magnitude
+            if execution.watchdog:
+                capture["watchdog"] = True
+            if execution.unexpected is not None:
+                capture["unexpected"] = execution.unexpected
+            execution.flight = capture
         return execution
 
     def run_guest(self, corruption, golden: Optional[GoldenRun] = None,
@@ -267,7 +301,13 @@ class CampaignRunner:
             )
         if self.workload.outputs_equal(golden.output, observed):
             return RunExecution(Outcome.MASKED)
-        return RunExecution(Outcome.SDC)
+        execution = RunExecution(Outcome.SDC)
+        if flight.enabled():
+            # Observational only — measured solely when recording, so
+            # recorder-off campaigns pay nothing for it.
+            execution.sdc_magnitude = self.workload.sdc_magnitude(
+                golden.output, observed)
+        return execution
 
     def run_once(self, model: ErrorModel, point: OperatingPoint,
                  run_index: int) -> Outcome:

@@ -5,7 +5,13 @@ Exposes the toolflow of Fig. 2 as commands:
 - ``characterize`` — model-development phase: build and save DA/IA/WA
   artifacts for a benchmark,
 - ``campaign``     — application-evaluation phase: run an injection
-  campaign from a saved (or freshly built) model,
+  campaign from a saved (or freshly built) model, optionally with a
+  live terminal monitor (``--monitor``) and a per-run flight recorder
+  (``--flight``, requires ``--trace``),
+- ``trace``        — query a recorded trace: ``trace query`` filters
+  flight records and prints per-run "why SDC?" drill-downs,
+- ``report``       — render a journal + trace into one self-contained
+  HTML page (``--html``),
 - ``experiment``   — regenerate one paper artifact by id (fig4..fig10,
   table1, table2, avm),
 - ``list``         — show available benchmarks and experiments.
@@ -34,6 +40,16 @@ from repro.workloads import WORKLOADS, make_workload
 
 def _points_for(reductions):
     return [TECHNOLOGY.operating_point(r / 100.0) for r in reductions]
+
+
+def _check_parent_dir(path: str, flag: str) -> None:
+    """Fail fast, clearly, when an output path's directory is missing."""
+    parent = Path(path).resolve().parent
+    if not parent.is_dir():
+        raise SystemExit(
+            f"error: {flag} {path!r}: parent directory {str(parent)!r} "
+            f"does not exist (create it first)"
+        )
 
 
 def _cmd_list(args) -> int:
@@ -74,8 +90,18 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    if args.flight and not args.trace:
+        raise SystemExit(
+            "error: --flight records runs into the telemetry trace; "
+            "pass --trace PATH as well"
+        )
+    if args.trace:
+        args.telemetry = True  # --trace implies telemetry, explicitly
+        _check_parent_dir(args.trace, "--trace")
+    if args.journal:
+        _check_parent_dir(args.journal, "--journal")
     sink = None
-    if args.telemetry or args.trace:
+    if args.telemetry:
         collector = telemetry.enable()
         if args.trace:
             from repro.telemetry import JsonlSink
@@ -84,6 +110,15 @@ def _cmd_campaign(args) -> int:
                                                "scale": args.scale,
                                                "seed": args.seed})
             collector.add_sink(sink)
+    if args.flight:
+        from repro.observe import flight
+
+        flight.enable(sink, keep_in_memory=False)
+    monitor = None
+    if args.monitor:
+        from repro.observe import CampaignMonitor
+
+        monitor = CampaignMonitor(total_cells=len(args.vr))
     points = _points_for(args.vr)
     workload = make_workload(args.benchmark, scale=args.scale,
                              seed=args.seed)
@@ -100,21 +135,73 @@ def _cmd_campaign(args) -> int:
             journal_path=args.journal,
             resume=args.resume,
         )
-        with CampaignExecutor(runner, config=config) as executor:
+        with CampaignExecutor(runner, config=config,
+                              monitor=monitor) as executor:
             results = [executor.run_cell(model, point, runs=args.runs)
                        for point in points]
     finally:
+        if args.flight:
+            from repro.observe import flight
+
+            flight.disable()
         if sink is not None:
             sink.close(telemetry.get_collector())
     print(outcome_table(results))
     print()
     print(executor_stats_table(results))
-    if args.telemetry or args.trace:
+    if args.telemetry:
         from repro.telemetry import summary_table
 
         print()
         print(summary_table(telemetry.snapshot()))
         telemetry.disable()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.observe import flight
+
+    records = flight.load_records(args.trace)
+    selected = flight.filter_records(
+        records, workload=args.workload, model=args.model,
+        point=args.point, outcome=args.outcome, run_index=args.run,
+    )
+    if args.explain or args.run is not None:
+        if not selected:
+            print("(no flight records match)")
+            return 1
+        for record in selected:
+            print(flight.explain(record))
+            print()
+        return 0
+    print(flight.records_table(selected))
+    if args.summary:
+        print()
+        print(flight.summary_tables(selected))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.observe import flight
+    from repro.observe.html_report import (
+        load_campaign_results,
+        write_report,
+    )
+
+    _check_parent_dir(args.html, "--html")
+    results = load_campaign_results(args.journal) if args.journal else []
+    records = flight.load_records(args.trace) if args.trace else []
+    snapshot = None
+    if args.trace:
+        from repro.telemetry.sinks import read_trace
+
+        for event in reversed(read_trace(args.trace)):
+            if event.get("type") == "snapshot":
+                snapshot = event
+                break
+    out = write_report(args.html, results, records, snapshot,
+                       title=args.title)
+    print(f"wrote {out}")
     return 0
 
 
@@ -173,6 +260,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None,
                    help="write a JSONL telemetry trace to this path "
                         "(implies --telemetry)")
+    p.add_argument("--flight", action="store_true",
+                   help="record one flight record per run into the trace "
+                        "(requires --trace)")
+    p.add_argument("--monitor", action="store_true",
+                   help="live terminal status: progress, outcome tallies, "
+                        "AVM with 95%% CI, worker health, ETA")
+
+    p = sub.add_parser("trace", help="query a recorded telemetry trace")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    q = trace_sub.add_parser(
+        "query", help="filter flight records and drill into runs",
+        description="Filter the flight records of a JSONL trace.  With "
+                    "--run or --explain, print the full per-run causal "
+                    "chain (victims, placement, masking, outcome).")
+    q.add_argument("trace", help="JSONL trace written by campaign --trace")
+    q.add_argument("--workload", help="filter by benchmark name")
+    q.add_argument("--model", help="filter by error model (DA/IA/WA)")
+    q.add_argument("--point", help="filter by operating point (e.g. VR20)")
+    q.add_argument("--outcome",
+                   help="filter by outcome (Masked/SDC/Crash/Timeout)")
+    q.add_argument("--run", type=int, default=None,
+                   help="drill into one run index (prints the full chain)")
+    q.add_argument("--explain", action="store_true",
+                   help="print the full causal chain of every match")
+    q.add_argument("--summary", action="store_true",
+                   help="append derived tables: outcome tallies, masking "
+                        "stages, per-bit flip histograms")
+
+    p = sub.add_parser(
+        "report", help="render an HTML campaign report",
+        description="Render a self-contained HTML page (inline CSS/SVG, "
+                    "no external assets) from a campaign journal and/or "
+                    "telemetry trace.")
+    p.add_argument("--journal", default=None,
+                   help="campaign journal to reconstruct results from")
+    p.add_argument("--trace", default=None,
+                   help="telemetry trace with flight records")
+    p.add_argument("--html", required=True,
+                   help="output path of the report page")
+    p.add_argument("--title", default="Timing-error campaign report")
 
     p = sub.add_parser(
         "experiment", help="regenerate a paper artifact",
@@ -194,6 +321,8 @@ def main(argv=None) -> int:
         "list": _cmd_list,
         "characterize": _cmd_characterize,
         "campaign": _cmd_campaign,
+        "trace": _cmd_trace,
+        "report": _cmd_report,
         "experiment": _cmd_experiment,
     }
     return handlers[args.command](args)

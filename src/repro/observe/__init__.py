@@ -1,0 +1,62 @@
+"""Observability layer over campaigns: flight recorder, monitor, report.
+
+Three consumers of the same telemetry/journal substrate:
+
+- :mod:`repro.observe.flight` — per-run flight records capturing the
+  full causal chain (model -> victim -> placement -> masking -> outcome)
+  as framed lines on the telemetry JSONL trace, plus the query API
+  behind ``repro trace query``;
+- :mod:`repro.observe.monitor` — the live terminal status view behind
+  ``repro campaign --monitor``;
+- :mod:`repro.observe.html_report` — the self-contained HTML report
+  behind ``repro report --html`` (imported lazily: it pulls in the
+  whole campaign layer).
+"""
+
+from repro.observe.records import (
+    RECORD_TYPE,
+    FlightRecord,
+    FlightVictim,
+    bitflip_histogram,
+    masking_summary,
+    outcome_summary,
+)
+from repro.observe.flight import (
+    FlightRecorder,
+    begin_capture,
+    disable,
+    emit_run,
+    emit_truncated,
+    enable,
+    enabled,
+    explain,
+    filter_records,
+    get_recorder,
+    load_records,
+    records_table,
+    summary_tables,
+)
+from repro.observe.monitor import CampaignMonitor
+
+__all__ = [
+    "CampaignMonitor",
+    "FlightRecord",
+    "FlightRecorder",
+    "FlightVictim",
+    "RECORD_TYPE",
+    "begin_capture",
+    "bitflip_histogram",
+    "disable",
+    "emit_run",
+    "emit_truncated",
+    "enable",
+    "enabled",
+    "explain",
+    "filter_records",
+    "get_recorder",
+    "load_records",
+    "masking_summary",
+    "outcome_summary",
+    "records_table",
+    "summary_tables",
+]

@@ -1,0 +1,175 @@
+"""Live campaign monitor: a stdlib-only terminal status view.
+
+Fed by the executor's per-run hook (every classified
+:class:`~repro.campaign.journal.RunRecord`) plus the telemetry counters
+when telemetry is enabled, the monitor shows, per campaign cell:
+
+- progress (done/requested, resumed runs counted as done),
+- running outcome tallies and the AVM-so-far with its 95 % Wilson CI
+  half-width — so the paper's 1068-run / 3 % margin criterion can be
+  watched converging live,
+- worker health (pool size, restarts, retries, watchdog kills), and
+- an ETA from a streaming run-rate estimate.
+
+On a TTY the block refreshes in place (ANSI cursor movement, throttled
+to ``interval`` seconds); on anything else it degrades to periodic plain
+log lines every ``log_interval`` seconds so redirected output stays
+readable.  The monitor never touches campaign state: it is a pure
+observer and safe to drop into deterministic runs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from repro.utils.stats import wilson_interval
+
+__all__ = ["CampaignMonitor"]
+
+#: Outcome display order (matches the paper's category order).
+_OUTCOMES = ("Masked", "SDC", "Crash", "Timeout")
+_NON_MASKED = ("SDC", "Crash", "Timeout")
+
+
+class CampaignMonitor:
+    """Terminal status view over one or more campaign cells."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 interval: float = 0.25, log_interval: float = 5.0,
+                 total_cells: Optional[int] = None,
+                 use_ansi: Optional[bool] = None,
+                 now=time.monotonic):
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.log_interval = log_interval
+        self.total_cells = total_cells
+        self._now = now
+        if use_ansi is None:
+            use_ansi = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.use_ansi = use_ansi
+
+        self.cells_done = 0
+        self._cell: Optional[str] = None
+        self._runs_requested = 0
+        self._done = 0
+        self._resumed = 0
+        self._tallies: Dict[str, int] = {}
+        self._stats: Optional[Any] = None
+        self._cell_started = 0.0
+        self._last_draw = float("-inf")
+        self._drawn_lines = 0
+
+    # -- executor hooks -------------------------------------------------------
+    def begin_cell(self, workload: str, model: str, point: str,
+                   runs: int, resumed: int = 0) -> None:
+        self._cell = f"{workload}/{model}/{point}"
+        self._runs_requested = runs
+        self._done = resumed
+        self._resumed = resumed
+        self._tallies = {name: 0 for name in _OUTCOMES}
+        self._stats = None
+        self._cell_started = self._now()
+        self._last_draw = float("-inf")
+        self._draw(force=True)
+
+    def on_run(self, record: Any, stats: Optional[Any] = None) -> None:
+        """One classified run (``record`` is RunRecord-shaped)."""
+        self._done += 1
+        outcome = getattr(record, "outcome", str(record))
+        self._tallies[outcome] = self._tallies.get(outcome, 0) + 1
+        if stats is not None:
+            self._stats = stats
+        self._draw()
+
+    def end_cell(self, result: Any) -> None:
+        if getattr(result, "stats", None) is not None:
+            self._stats = result.stats
+        self._draw(force=True, final=True)
+        self.cells_done += 1
+
+    def close(self) -> None:
+        if self.use_ansi and self._drawn_lines:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._drawn_lines = 0
+
+    # -- rendering ------------------------------------------------------------
+    def _avm_line(self) -> str:
+        done = self._done
+        tallies = self._tallies
+        parts = "  ".join(f"{name} {tallies.get(name, 0)}"
+                          for name in _OUTCOMES)
+        extras = sum(n for name, n in tallies.items()
+                     if name not in _OUTCOMES)
+        if extras:
+            parts += f"  other {extras}"
+        if not done:
+            return f"  outcomes: {parts}   AVM --"
+        non_masked = sum(tallies.get(name, 0) for name in _NON_MASKED)
+        avm = non_masked / done
+        lo, hi = wilson_interval(non_masked, done)
+        half = (hi - lo) / 2.0
+        return (f"  outcomes: {parts}   "
+                f"AVM {avm:6.1%} ±{half:5.1%} (95% CI)")
+
+    def _health_line(self) -> str:
+        stats = self._stats
+        if stats is None:
+            return "  executor: serial, no events"
+        workers = getattr(stats, "workers", 0)
+        mode = f"{workers} workers" if workers else "serial"
+        return (f"  executor: {mode}  retries {stats.retries}  "
+                f"watchdog {stats.watchdog_kills}  "
+                f"harness-err {stats.harness_errors}  "
+                f"restarts {stats.worker_restarts}")
+
+    def _progress_line(self) -> str:
+        runs = self._runs_requested
+        done = min(self._done, runs) if runs else self._done
+        frac = done / runs if runs else 0.0
+        width = 20
+        filled = int(round(width * frac))
+        bar = "#" * filled + "." * (width - filled)
+        elapsed = max(self._now() - self._cell_started, 1e-9)
+        executed = self._done - self._resumed
+        rate = executed / elapsed
+        if rate > 0 and runs:
+            remaining = max(runs - self._done, 0)
+            eta = f"ETA {remaining / rate:5.0f}s"
+        else:
+            eta = "ETA --"
+        cells = (f"  cell {self.cells_done + 1}"
+                 + (f"/{self.total_cells}" if self.total_cells else ""))
+        return (f"campaign {self._cell}  [{bar}]  {done}/{runs} "
+                f"({frac:5.1%})  {rate:6.1f} runs/s  {eta}{cells}")
+
+    def render(self) -> str:
+        """The current status block (three lines)."""
+        return "\n".join([self._progress_line(), self._avm_line(),
+                          self._health_line()])
+
+    def _draw(self, force: bool = False, final: bool = False) -> None:
+        now = self._now()
+        min_gap = self.interval if self.use_ansi else self.log_interval
+        if not force and now - self._last_draw < min_gap:
+            return
+        self._last_draw = now
+        block = self.render()
+        if self.use_ansi:
+            if self._drawn_lines:
+                # Move back to the top of the previous block and clear
+                # each stale line before rewriting in place.
+                self.stream.write(f"\x1b[{self._drawn_lines}F")
+            self.stream.write(
+                "\n".join("\x1b[2K" + line for line in block.splitlines())
+            )
+            self.stream.write("\n")
+            self._drawn_lines = len(block.splitlines())
+            if final:
+                self._drawn_lines = 0
+        else:
+            prefix = "[done] " if final else ""
+            self.stream.write(prefix + block.replace("\n", " | ") + "\n")
+        self.stream.flush()

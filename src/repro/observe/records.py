@@ -1,0 +1,199 @@
+"""Flight-record types: the structured trajectory of one injection run.
+
+A :class:`FlightRecord` captures the paper's whole cross-layer causal
+chain for a single run — which model picked which victim dynamic FP
+instruction and bitmask, the pipeline cycle the injector placed it at,
+whether microarchitectural masking filtered it (and why), how large the
+effective corruption map was, and how the workload run collapsed to
+Masked/SDC/Crash/Timeout — plus executor accounting (wall time, retries,
+watchdog involvement).  Records are pure data: this module imports
+nothing from the campaign layer so the runner/executor can depend on it
+without cycles.
+
+Derived views (:func:`bitflip_histogram`, :func:`masking_summary`,
+:func:`outcome_summary`) aggregate record sets into the tables the
+``repro trace query`` CLI and the HTML report render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "FlightRecord",
+    "FlightVictim",
+    "RECORD_TYPE",
+    "bitflip_histogram",
+    "masking_summary",
+    "outcome_summary",
+]
+
+#: The ``type`` discriminator of flight records in a JSONL trace.
+RECORD_TYPE = "flight"
+
+
+@dataclass(frozen=True)
+class FlightVictim:
+    """One victim of a run: what flipped, where it landed, what ate it."""
+
+    op: str               # FpOp value string, e.g. "add.d"
+    index: int            # position in that op's dynamic stream
+    bitmask: int          # XOR mask applied to the destination register
+    cycle: int = -1       # pipeline cycle of the destination write
+    masked: bool = False  # squashed/dead before architectural state
+    mask_cause: Optional[str] = None  # "wrong-path" | "dead-write" | None
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"op": self.op, "index": self.index,
+                               "bitmask": self.bitmask, "cycle": self.cycle,
+                               "masked": self.masked}
+        if self.mask_cause is not None:
+            out["mask_cause"] = self.mask_cause
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FlightVictim":
+        return cls(
+            op=str(data.get("op", "?")),
+            index=int(data.get("index", -1)),
+            bitmask=int(data.get("bitmask", 0)),
+            cycle=int(data.get("cycle", -1)),
+            masked=bool(data.get("masked", False)),
+            mask_cause=data.get("mask_cause"),
+        )
+
+    @property
+    def flipped_bits(self) -> List[int]:
+        """Bit positions set in the bitmask, LSB-first."""
+        mask, out, bit = self.bitmask, [], 0
+        while mask:
+            if mask & 1:
+                out.append(bit)
+            mask >>= 1
+            bit += 1
+        return out
+
+
+@dataclass
+class FlightRecord:
+    """The full causal chain of one injection run.
+
+    ``truncated`` marks records the orchestrator had to synthesise
+    because the executing worker died before shipping its capture (e.g.
+    a parent-side watchdog kill): identity and outcome are trustworthy,
+    victim details are not present.
+    """
+
+    workload: str
+    model: str
+    point: str
+    run_index: int
+    stream: str = ""              # RNG stream key == journal key
+    seed: int = 0
+    injected: bool = True         # False when the model planned no victims
+    victims: List[FlightVictim] = field(default_factory=list)
+    corruption_size: int = 0      # (op, index) entries that reached software
+    outcome: str = ""             # Outcome value string
+    sdc_magnitude: Optional[float] = None  # rel. output error for SDC runs
+    watchdog: bool = False
+    unexpected: Optional[str] = None
+    wall_ms: float = 0.0
+    retries: int = 0
+    truncated: bool = False
+
+    @property
+    def uarch_masked(self) -> int:
+        return sum(1 for v in self.victims if v.masked)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "type": RECORD_TYPE,
+            "workload": self.workload, "model": self.model,
+            "point": self.point, "run_index": self.run_index,
+            "stream": self.stream, "seed": self.seed,
+            "injected": self.injected,
+            "victims": [v.to_dict() for v in self.victims],
+            "corruption_size": self.corruption_size,
+            "outcome": self.outcome,
+            "wall_ms": self.wall_ms, "retries": self.retries,
+        }
+        if self.sdc_magnitude is not None:
+            out["sdc_magnitude"] = self.sdc_magnitude
+        if self.watchdog:
+            out["watchdog"] = True
+        if self.unexpected is not None:
+            out["unexpected"] = self.unexpected
+        if self.truncated:
+            out["truncated"] = True
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FlightRecord":
+        victims = [
+            v if isinstance(v, FlightVictim) else FlightVictim.from_dict(v)
+            for v in data.get("victims", ())
+        ]
+        magnitude = data.get("sdc_magnitude")
+        return cls(
+            workload=str(data.get("workload", "?")),
+            model=str(data.get("model", "?")),
+            point=str(data.get("point", "?")),
+            run_index=int(data.get("run_index", -1)),
+            stream=str(data.get("stream", "")),
+            seed=int(data.get("seed", 0)),
+            injected=bool(data.get("injected", True)),
+            victims=victims,
+            corruption_size=int(data.get("corruption_size", 0)),
+            outcome=str(data.get("outcome", "")),
+            sdc_magnitude=None if magnitude is None else float(magnitude),
+            watchdog=bool(data.get("watchdog", False)),
+            unexpected=data.get("unexpected"),
+            wall_ms=float(data.get("wall_ms", 0.0)),
+            retries=int(data.get("retries", 0)),
+            truncated=bool(data.get("truncated", False)),
+        )
+
+
+# -- derived tables -----------------------------------------------------------
+def bitflip_histogram(records: Iterable[FlightRecord], width: int = 64,
+                      ) -> Dict[str, List[int]]:
+    """Per-instruction-type per-bit flip counts from recorded bitmasks.
+
+    Returns ``{op: [count per bit position, LSB-first]}`` over every
+    victim of every record — the campaign-side mirror of the Fig. 5/8
+    per-bit views, measured from what was actually injected.
+    """
+    out: Dict[str, List[int]] = {}
+    for record in records:
+        for victim in record.victims:
+            row = out.setdefault(victim.op, [0] * width)
+            for bit in victim.flipped_bits:
+                if bit < width:
+                    row[bit] += 1
+    return out
+
+
+def masking_summary(records: Iterable[FlightRecord]) -> Dict[str, int]:
+    """Victim counts by masking resolution.
+
+    Keys: ``wrong-path`` and ``dead-write`` (the two microarchitectural
+    masking stages), ``reached-software`` for unmasked victims.
+    """
+    out = {"wrong-path": 0, "dead-write": 0, "reached-software": 0}
+    for record in records:
+        for victim in record.victims:
+            if not victim.masked:
+                out["reached-software"] += 1
+            else:
+                cause = victim.mask_cause or "wrong-path"
+                out[cause] = out.get(cause, 0) + 1
+    return out
+
+
+def outcome_summary(records: Iterable[FlightRecord]) -> Dict[str, int]:
+    """Record counts per outcome category."""
+    out: Dict[str, int] = {}
+    for record in records:
+        out[record.outcome] = out.get(record.outcome, 0) + 1
+    return out

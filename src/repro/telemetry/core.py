@@ -143,6 +143,20 @@ class Collector:
     def sinks(self) -> List[Any]:
         return list(self._sinks)
 
+    def detach_sinks(self) -> List[Any]:
+        """Remove and return every sink without closing it.
+
+        Forked campaign workers call this on entry: the inherited sinks
+        wrap file handles whose offsets are shared with the parent, so a
+        worker writing spans (or dying mid-write) would interleave with
+        — and potentially tear — the parent's trace.  Workers keep
+        aggregating counters/stats and ship them over the result pipe;
+        only the parent writes the trace file.
+        """
+        detached = self._sinks
+        self._sinks = []
+        return detached
+
     # -- counters & stats -----------------------------------------------------
     def count(self, name: str, n: float = 1) -> None:
         with self._lock:

@@ -28,6 +28,12 @@ class JsonlSink:
     The first line is a ``meta`` record; every closed span follows as its
     own flushed line.  ``close()`` appends the final aggregated snapshot
     so a trace file is self-contained for offline analysis.
+
+    Beyond spans, the sink accepts arbitrary *framed records* through
+    :meth:`emit`: any dict with its own ``type`` discriminator is written
+    as one flushed line.  The flight recorder
+    (:mod:`repro.observe.flight`) uses this to interleave ``flight``
+    records with spans in a single trace file.
     """
 
     def __init__(self, path: PathLike,
@@ -48,6 +54,21 @@ class JsonlSink:
 
     def on_span(self, record: SpanRecord) -> None:
         self._write(record.to_dict())
+
+    def emit(self, payload: Dict[str, Any]) -> None:
+        """Write one framed non-span record (must carry a ``type`` key)."""
+        if "type" not in payload:
+            raise ValueError("framed records need a 'type' discriminator")
+        self._write(payload)
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def flush(self) -> None:
+        """Force buffered lines to disk (teardown paths call this)."""
+        if not self._fh.closed:
+            self._fh.flush()
 
     def close(self, collector: Optional[Collector] = None) -> None:
         if self._fh.closed:

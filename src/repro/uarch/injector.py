@@ -22,11 +22,18 @@ from repro.utils.rng import RngStream
 
 @dataclass(frozen=True)
 class PlacedInjection:
-    """One victim with its pipeline placement and masking resolution."""
+    """One victim with its pipeline placement and masking resolution.
+
+    ``mask_cause`` names why a masked victim never reached architectural
+    state (:data:`~repro.uarch.masking.WRONG_PATH` squash or
+    :data:`~repro.uarch.masking.DEAD_WRITE`); ``None`` for unmasked
+    victims.
+    """
 
     victim: Victim
     cycle: int
     uarch_masked: bool
+    mask_cause: Optional[str] = None
 
 
 @dataclass
@@ -76,9 +83,9 @@ class MicroArchInjector:
         for victim in plan.victims:
             global_index = victim.index + offsets.get(victim.op, 0)
             cycle = self.schedule.cycle_of_fp(global_index)
-            masked = self.masking.is_masked(victim, rng)
+            masked, cause = self.masking.resolve(victim, rng)
             outcome.placements.append(
                 PlacedInjection(victim=victim, cycle=cycle,
-                                uarch_masked=masked)
+                                uarch_masked=masked, mask_cause=cause)
             )
         return outcome

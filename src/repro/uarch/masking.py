@@ -12,10 +12,15 @@ corrupts anything.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.errors.base import Victim
 from repro.uarch.core import PipelineSchedule
 from repro.utils.rng import RngStream
+
+#: Cause labels attached to masked victims (flight records / reports).
+WRONG_PATH = "wrong-path"
+DEAD_WRITE = "dead-write"
 
 
 @dataclass(frozen=True)
@@ -47,10 +52,23 @@ class MaskingProfile:
         """Probability an injected FP error never reaches software."""
         return 1.0 - (1.0 - self.wrong_path_rate) * (1.0 - self.dead_write_rate)
 
-    def is_masked(self, victim: Victim, rng: RngStream) -> bool:
+    def resolve(self, victim: Victim,
+                rng: RngStream) -> Tuple[bool, Optional[str]]:
         """Deterministically (per run-stream) resolve one victim.
 
-        The draw is tied to the run's RNG stream so a campaign re-run
-        reproduces every masking decision.
+        Consumes exactly one uniform draw and partitions it: ``[0,
+        wrong_path_rate)`` attributes the squash to a wrong-path window,
+        ``[wrong_path_rate, total_rate)`` to a dead register write, the
+        rest is unmasked.  The verdict is bit-identical to the historical
+        single-threshold test (same draw, same ``< total_rate`` cut);
+        the cause label is derived from the *same* draw so attribution
+        costs no extra randomness and cannot perturb campaigns.
         """
-        return bool(rng.random() < self.total_rate)
+        r = rng.random()
+        if r >= self.total_rate:
+            return False, None
+        return True, (WRONG_PATH if r < self.wrong_path_rate else DEAD_WRITE)
+
+    def is_masked(self, victim: Victim, rng: RngStream) -> bool:
+        """Boolean form of :meth:`resolve` (one RNG draw either way)."""
+        return self.resolve(victim, rng)[0]

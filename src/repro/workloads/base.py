@@ -310,6 +310,31 @@ class Workload(abc.ABC):
     def outputs_equal(self, golden, observed) -> bool:
         """Table II classification: does the output verify against golden?"""
 
+    def sdc_magnitude(self, golden, observed) -> Optional[float]:
+        """How wrong an SDC output is: relative L2 error vs golden.
+
+        Purely observational (flight-recorder drill-downs); never part of
+        classification, which stays with :meth:`outputs_equal`.  Returns
+        ``None`` when the outputs don't admit a numeric distance (shape
+        mismatch, non-array output, zero-norm golden with equal shapes).
+        """
+        try:
+            with np.errstate(all="ignore"):
+                g = np.asarray(golden, dtype=np.float64)
+                o = np.asarray(observed, dtype=np.float64)
+                if g.shape != o.shape:
+                    return None
+                denom = float(np.linalg.norm(g.ravel()))
+                diff = float(np.linalg.norm((o - g).ravel()))
+                if np.isnan(diff):
+                    # Non-finite corruption: infinitely far from golden.
+                    return float("inf")
+                if denom > 0.0:
+                    return diff / denom
+                return diff if diff > 0.0 else None
+        except (TypeError, ValueError):
+            return None
+
     @property
     def ops_per_fp(self) -> float:
         from repro.uarch.trace import MIXES

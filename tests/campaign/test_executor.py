@@ -148,8 +148,8 @@ def _runner(workload) -> CampaignRunner:
 @pytest.fixture
 def no_masking(monkeypatch):
     """Pin microarchitectural masking off so every injection lands."""
-    monkeypatch.setattr(MaskingProfile, "is_masked",
-                        lambda self, victim, rng: False)
+    monkeypatch.setattr(MaskingProfile, "resolve",
+                        lambda self, victim, rng: (False, None))
 
 
 class TestClassificationBoundary:

@@ -1,0 +1,82 @@
+"""Golden-output tests for campaign report tables.
+
+Exact expected strings, not substring probes: these tables are parsed by
+eyeballs and by scripts, so spacing, alignment, ordering and the
+``stats is None`` paths are all part of the contract.  If a format
+change is intentional, update the goldens deliberately.
+
+Expected lines are joined from explicit string lists because some lines
+carry significant trailing spaces (every cell is left-justified,
+including the last column).
+"""
+
+from repro.campaign.executor import CellStats
+from repro.campaign.outcomes import Outcome, OutcomeCounts
+from repro.campaign.report import (
+    executor_stats_table,
+    format_table,
+    outcome_table,
+)
+from repro.campaign.runner import CampaignResult
+
+
+def _result(workload, point, model, counts, stats=None):
+    oc = OutcomeCounts()
+    for outcome, n in zip(Outcome, counts):
+        for _ in range(n):
+            oc.record(outcome)
+    return CampaignResult(workload=workload, model=model, point=point,
+                          counts=oc, error_ratio=1e-4, stats=stats)
+
+
+def _fixture_results():
+    r1 = _result("cg", "VR15", "WA", (3, 1, 0, 0),
+                 CellStats(runs=4, executed=3, resumed=1, failed=0,
+                           retries=2, watchdog_kills=1, harness_errors=2,
+                           degraded=False, wall_time=1.5, workers=2))
+    r2 = _result("sobel", "VR20", "DA", (2, 0, 1, 1),
+                 CellStats(runs=4, executed=4, degraded=True,
+                           wall_time=12.25))
+    r3 = _result("kmeans", "VR15", "IA", (4, 0, 0, 0))  # stats is None
+    return [r2, r1, r3]  # deliberately unsorted
+
+
+class TestFormatTable:
+    def test_exact_output(self):
+        assert format_table(["a", "bb"], [["x", 1], ["long", 22]]) == "\n".join([
+            "a     bb",
+            "----  --",
+            "x     1 ",
+            "long  22",
+        ])
+
+
+class TestOutcomeTableGolden:
+    def test_exact_output_sorted_and_aligned(self):
+        assert outcome_table(_fixture_results()) == "\n".join([
+            "benchmark  VR    model  Masked  SDC     Crash   Timeout  AVM   ",
+            "---------  ----  -----  ------  ------  ------  -------  ------",
+            "cg         VR15  WA      75.0%   25.0%    0.0%    0.0%    25.0%",
+            "kmeans     VR15  IA     100.0%    0.0%    0.0%    0.0%     0.0%",
+            "sobel      VR20  DA      50.0%    0.0%   25.0%   25.0%    50.0%",
+        ])
+
+
+class TestExecutorStatsTableGolden:
+    def test_exact_output_skips_stats_none_rows(self):
+        """The kmeans result (stats=None) contributes no row."""
+        assert executor_stats_table(_fixture_results()) == "\n".join([
+            "benchmark  VR    model  runs  exec  resumed  failed  retries"
+            "  wd-kills  harness-err  degraded  wall      workers",
+            "---------  ----  -----  ----  ----  -------  ------  -------"
+            "  --------  -----------  --------  --------  -------",
+            "cg         VR15  WA     4     3     1        0       2      "
+            "  1         2            no           1.50s  2      ",
+            "sobel      VR20  DA     4     4     0        0       0      "
+            "  0         0            yes         12.25s  serial ",
+        ])
+
+    def test_all_stats_none_placeholder(self):
+        results = [_result("kmeans", "VR15", "IA", (4, 0, 0, 0))]
+        assert executor_stats_table(results) == \
+            "(no executor statistics recorded)"

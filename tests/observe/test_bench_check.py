@@ -1,0 +1,125 @@
+"""Tests for scripts/bench_check.py (the bench regression gate)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_check",
+    Path(__file__).resolve().parent.parent.parent / "scripts"
+    / "bench_check.py",
+)
+bench_check = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_check)
+
+
+def _report(scale=1.0, config=None):
+    return {
+        "bench": "repro-pipeline", "schema_version": 1,
+        "config": config or {"scale": "tiny", "runs": 24},
+        "micro_dta": {"wall_s": 0.02 * scale},
+        "phases": {
+            "characterize": {"wall_s": 1.0 * scale,
+                             "per_benchmark": {"kmeans": 1.0 * scale}},
+            "campaign": {"wall_s": 0.5 * scale,
+                         "per_benchmark": {"kmeans": 0.5 * scale}},
+        },
+        "layers": {
+            "eventsim": {"wall_s": 0.02 * scale},
+            "dta": {"wall_s": 0.1 * scale},
+            "executor": {"wall_s": 0.5 * scale},
+        },
+    }
+
+
+def _write(tmp_path, name, report):
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        rows, regressions, mismatch = bench_check.compare(
+            _report(), _report(), tolerance=0.25, min_seconds=0.01)
+        assert not regressions
+        assert not mismatch
+        assert all(v in ("ok", "below-noise-floor") for *_, v in rows)
+
+    def test_slowdown_past_tolerance_regresses(self):
+        rows, regressions, _ = bench_check.compare(
+            _report(), _report(scale=1.5), tolerance=0.25,
+            min_seconds=0.01)
+        assert "phase.characterize" in regressions
+        assert "layer.executor" in regressions
+
+    def test_speedup_is_not_a_regression(self):
+        _, regressions, _ = bench_check.compare(
+            _report(), _report(scale=0.5), tolerance=0.25,
+            min_seconds=0.01)
+        assert not regressions
+
+    def test_noise_floor_excludes_micro_times(self):
+        fast = _report()
+        slow = _report()
+        slow["micro_dta"]["wall_s"] = fast["micro_dta"]["wall_s"] * 100
+        # Both sides below min_seconds=10: ignored despite the 100x.
+        _, regressions, _ = bench_check.compare(
+            fast, slow, tolerance=0.25, min_seconds=10.0)
+        assert not regressions
+
+    def test_config_drift_flagged(self):
+        _, _, mismatch = bench_check.compare(
+            _report(), _report(config={"scale": "small"}),
+            tolerance=0.25, min_seconds=0.01)
+        assert mismatch
+
+
+class TestCli:
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _report())
+        cand = _write(tmp_path, "cand.json", _report(scale=1.1))
+        code = bench_check.main(["--baseline", base, "--candidate", cand])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no regression" in out
+        assert "phase.characterize" in out
+
+    def test_regression_exit_one_with_delta_table(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _report())
+        cand = _write(tmp_path, "cand.json", _report(scale=2.0))
+        code = bench_check.main(["--baseline", base, "--candidate", cand])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "+100.0%" in captured.out
+        assert "regressed past" in captured.err
+
+    def test_custom_tolerance(self, tmp_path):
+        base = _write(tmp_path, "base.json", _report())
+        cand = _write(tmp_path, "cand.json", _report(scale=2.0))
+        assert bench_check.main(["--baseline", base, "--candidate", cand,
+                                 "--tolerance", "3.0"]) == 0
+
+    def test_missing_file_exit_two(self, tmp_path):
+        cand = _write(tmp_path, "cand.json", _report())
+        assert bench_check.main(["--baseline",
+                                 str(tmp_path / "nope.json"),
+                                 "--candidate", cand]) == 2
+
+    def test_schema_mismatch_exit_two(self, tmp_path):
+        base_report = _report()
+        base_report["schema_version"] = 0
+        base = _write(tmp_path, "base.json", base_report)
+        cand = _write(tmp_path, "cand.json", _report())
+        assert bench_check.main(["--baseline", base,
+                                 "--candidate", cand]) == 2
+
+    def test_gates_the_committed_baseline_against_itself(self):
+        baseline = Path(__file__).resolve().parents[2] / \
+            "BENCH_campaign.json"
+        code = bench_check.main(["--baseline", str(baseline),
+                                 "--candidate", str(baseline)])
+        assert code == 0

@@ -1,0 +1,252 @@
+"""Tests for the injection flight recorder.
+
+The two contracts that matter most:
+
+1. **Determinism**: recording must be purely observational — a
+   recorder-on campaign is bit-identical to a recorder-off one.
+2. **Chain reconstruction**: ``repro trace query --outcome SDC`` must
+   rebuild the full causal chain (model -> victim -> placement ->
+   masking -> outcome) from the trace file alone.
+"""
+
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.campaign.executor import CampaignExecutor, ExecutorConfig
+from repro.campaign.outcomes import Outcome
+from repro.campaign.runner import CampaignRunner
+from repro.circuit.liberty import VR20
+from repro.errors import characterize_wa
+from repro.observe import flight
+from repro.observe.records import (
+    FlightRecord,
+    FlightVictim,
+    bitflip_histogram,
+    masking_summary,
+    outcome_summary,
+)
+from repro.telemetry.sinks import JsonlSink, read_trace
+from repro.workloads import make_workload
+
+RUNS = 40
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """Every test starts and ends with recorder + telemetry off."""
+    flight.disable()
+    telemetry.disable()
+    yield
+    flight.disable()
+    telemetry.disable()
+
+
+@pytest.fixture(scope="module")
+def cg_setup():
+    workload = make_workload("cg", scale="tiny", seed=7)
+    runner = CampaignRunner(workload, seed=7)
+    model = characterize_wa(runner.golden().profile, [VR20])
+    return runner, model
+
+
+def _run_cell(runner, model, workers=0, runs=RUNS, journal=None):
+    config = ExecutorConfig(workers=workers, journal_path=journal)
+    with CampaignExecutor(runner, config=config) as executor:
+        return executor.run_cell(model, VR20, runs=runs)
+
+
+class TestDeterminism:
+    def test_recorder_on_is_bit_identical_to_off(self, cg_setup):
+        runner, model = cg_setup
+        off = _run_cell(runner, model)
+        flight.enable()
+        on = _run_cell(runner, model)
+        assert on.counts.counts == off.counts.counts
+        assert on.uarch_masked == off.uarch_masked
+        assert on.runs_without_injection == off.runs_without_injection
+        assert flight.get_recorder().emitted == RUNS
+
+    def test_pool_matches_serial_and_ships_records(self, cg_setup):
+        """Flight payloads ride the worker result pipe to the parent."""
+        runner, model = cg_setup
+        serial_result = _run_cell(runner, model)
+        flight.enable()
+        pool_result = _run_cell(runner, model, workers=2)
+        recorder = flight.get_recorder()
+        assert pool_result.counts.counts == serial_result.counts.counts
+        assert recorder.emitted == RUNS
+        assert {r.run_index for r in recorder.records} == set(range(RUNS))
+        # The causal chain crossed the pipe intact, not just the verdicts.
+        assert any(r.victims for r in recorder.records)
+
+    def test_capture_draws_nothing_from_the_rng(self, cg_setup):
+        """Same stream key -> same victims, recorded or not."""
+        runner, model = cg_setup
+        baseline = runner.execute_run(model, VR20, 3)
+        flight.enable()
+        recorded = runner.execute_run(model, VR20, 3)
+        assert recorded.outcome is baseline.outcome
+        assert recorded.uarch_masked == baseline.uarch_masked
+        assert recorded.flight is not None
+        assert baseline.flight is None
+
+
+class TestTraceRoundTrip:
+    def test_sdc_chain_reconstructed_from_trace_alone(self, cg_setup,
+                                                      tmp_path):
+        runner, model = cg_setup
+        trace = tmp_path / "trace.jsonl"
+        sink = JsonlSink(trace)
+        flight.enable(sink, keep_in_memory=False)
+        result = _run_cell(runner, model)
+        sink.close()
+
+        records = flight.load_records(trace)
+        assert len(records) == RUNS
+        sdc = flight.filter_records(records, outcome="SDC")
+        assert len(sdc) == result.counts.counts[Outcome.SDC]
+        assert sdc, "the fixture cell must produce at least one SDC"
+        record = sdc[0]
+        # Full chain: identity, stream key, victims with placement and
+        # masking resolution, corruption size, outcome, magnitude.
+        assert record.stream == f"cg/WA/VR20/{record.run_index}"
+        assert record.seed == 7
+        assert record.victims
+        victim = record.victims[0]
+        assert victim.op.startswith("fp.")
+        assert victim.bitmask > 0
+        assert victim.cycle >= 0
+        assert record.corruption_size >= 1
+        assert record.sdc_magnitude is not None
+        assert record.sdc_magnitude > 0
+        narrative = flight.explain(record)
+        assert "SDC" in narrative
+        assert f"0x{victim.bitmask:016x}" in narrative
+        assert "cycle" in narrative
+
+    def test_records_interleave_with_spans_in_one_trace(self, cg_setup,
+                                                        tmp_path):
+        runner, model = cg_setup
+        trace = tmp_path / "trace.jsonl"
+        collector = telemetry.enable()
+        sink = JsonlSink(trace)
+        collector.add_sink(sink)
+        flight.enable(sink, keep_in_memory=False)
+        _run_cell(runner, model, runs=5)
+        sink.close(collector)
+
+        events = read_trace(trace)
+        kinds = {event.get("type") for event in events}
+        assert "flight" in kinds
+        assert "span" in kinds or any("name" in e for e in events)
+        assert events[0]["type"] == "meta"
+
+    def test_filters_are_case_insensitive_and_compose(self):
+        records = [
+            FlightRecord(workload="cg", model="WA", point="VR20",
+                         run_index=i, outcome=o)
+            for i, o in enumerate(["SDC", "Masked", "Crash"])
+        ]
+        assert len(flight.filter_records(records, outcome="sdc")) == 1
+        assert len(flight.filter_records(records, workload="CG")) == 3
+        assert flight.filter_records(records, outcome="Masked",
+                                     run_index=1)[0].run_index == 1
+        assert not flight.filter_records(records, outcome="Masked",
+                                         run_index=0)
+
+
+class TestRecorderMechanics:
+    def test_disabled_capture_is_none_and_emit_is_noop(self):
+        assert not flight.enabled()
+        assert flight.begin_capture("w", "m", "p", 0, 1, "w/m/p/0") is None
+        assert flight.emit_run(None) is None
+        assert flight.emit_truncated("w", "m", "p", 0, 1, "w/m/p/0",
+                                    "Timeout") is None
+
+    def test_disabled_overhead_is_small(self):
+        """Recorder-off guard: one global load + compare per probe."""
+        def noop():
+            pass
+
+        n = 20_000
+        start = time.perf_counter()
+        for _ in range(n):
+            noop()
+        baseline = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(n):
+            flight.begin_capture("w", "m", "p", 0, 1, "k")
+        probed = time.perf_counter() - start
+        assert probed < baseline * 50 + 0.05
+
+    def test_truncated_record_round_trips(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        sink = JsonlSink(trace)
+        flight.enable(sink)
+        flight.emit_truncated("w", "m", "p", 9, 1, "w/m/p/9", "Timeout",
+                             watchdog=True, unexpected="killed",
+                             wall_ms=120.0)
+        sink.close()
+        (record,) = flight.load_records(trace)
+        assert record.truncated
+        assert record.watchdog
+        assert record.outcome == "Timeout"
+        assert record.unexpected == "killed"
+        assert "truncated" in flight.explain(record)
+
+    def test_enable_is_idempotent_but_sink_replaces(self, tmp_path):
+        first = flight.enable()
+        assert flight.enable() is first
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        second = flight.enable(sink)
+        assert second is not first
+        assert second.sink is sink
+        sink.close()
+
+
+class TestDerivedTables:
+    def _records(self):
+        return [
+            FlightRecord(
+                workload="w", model="m", point="p", run_index=0,
+                outcome="SDC",
+                victims=[FlightVictim("fp.add.d", 1, 0b101, cycle=4),
+                         FlightVictim("fp.add.d", 2, 0b100, cycle=5,
+                                      masked=True,
+                                      mask_cause="dead-write")],
+            ),
+            FlightRecord(
+                workload="w", model="m", point="p", run_index=1,
+                outcome="Masked",
+                victims=[FlightVictim("fp.mul.d", 3, 1 << 63, cycle=9,
+                                      masked=True,
+                                      mask_cause="wrong-path")],
+            ),
+        ]
+
+    def test_bitflip_histogram_counts_bits_per_op(self):
+        histogram = bitflip_histogram(self._records())
+        assert histogram["fp.add.d"][0] == 1
+        assert histogram["fp.add.d"][2] == 2
+        assert histogram["fp.mul.d"][63] == 1
+
+    def test_masking_summary_by_stage(self):
+        summary = masking_summary(self._records())
+        assert summary == {"wrong-path": 1, "dead-write": 1,
+                           "reached-software": 1}
+
+    def test_outcome_summary(self):
+        assert outcome_summary(self._records()) == {"SDC": 1, "Masked": 1}
+
+    def test_tables_render(self):
+        records = self._records()
+        table = flight.records_table(records)
+        assert "fp.add.d[1]" in table
+        assert "SDC" in table
+        summary = flight.summary_tables(records)
+        assert "wrong-path" in summary
+        assert "bit 63" in summary
+        assert flight.records_table([]) == "(no flight records match)"

@@ -62,3 +62,59 @@ class TestCommands:
     def test_experiment_fig4(self, capsys):
         assert main(["experiment", "fig4"]) == 0
         assert "Fig. 4" in capsys.readouterr().out
+
+
+class TestObservabilityCli:
+    def test_flight_requires_trace(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "kmeans", "--scale", "tiny", "--runs", "2",
+                  "--vr", "20", "--flight"])
+        assert "--trace" in str(excinfo.value)
+
+    def test_trace_missing_parent_dir_is_a_clear_error(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "t.jsonl"
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "kmeans", "--scale", "tiny", "--runs", "2",
+                  "--vr", "20", "--trace", str(missing)])
+        message = str(excinfo.value)
+        assert "--trace" in message
+        assert "parent directory" in message
+
+    def test_report_html_missing_parent_dir_is_a_clear_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", "--html", str(tmp_path / "nope" / "r.html")])
+        assert "parent directory" in str(excinfo.value)
+
+    def test_trace_implies_telemetry(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["campaign", "kmeans", "--scale", "tiny", "--runs", "4",
+                     "--vr", "20", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" in out.lower()
+        assert trace.exists()
+
+    def test_campaign_trace_query_report_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        journal = tmp_path / "journal.jsonl"
+        html = tmp_path / "report.html"
+        assert main(["campaign", "kmeans", "--scale", "tiny", "--runs", "6",
+                     "--vr", "20", "--journal", str(journal),
+                     "--trace", str(trace), "--flight", "--monitor"]) == 0
+        capsys.readouterr()
+
+        assert main(["trace", "query", str(trace), "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "kmeans" in out and "VR20" in out
+        assert "outcome" in out
+        assert "injected into" in out    # --summary histogram rendered
+
+        # A filter that matches nothing exits non-zero and says so.
+        assert main(["trace", "query", str(trace), "--run", "9999"]) == 1
+        assert "no flight records match" in capsys.readouterr().out
+
+        assert main(["report", "--journal", str(journal),
+                     "--trace", str(trace), "--html", str(html)]) == 0
+        text = html.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "kmeans" in text
+        assert "http" not in text
