@@ -5,13 +5,19 @@ Times the paper's two phases with telemetry enabled:
 
 1. *micro*: gate-level DTA on a ripple adder, exercising the eventsim
    layer in isolation,
-2. *characterize*: WA-model development per benchmark (the FPU DTA
-   layer),
-3. *campaign*: a small injection campaign per benchmark through the
+2. *golden*: workload construction + golden runs per benchmark,
+3. *characterize*: serial reference model development (WA per benchmark
+   plus the shared IA and DA models — the FPU DTA layer),
+4. *characterize_parallel*: the same model set through the parallel,
+   content-addressed characterization pipeline (cold cache),
+5. *characterize_warm*: the pipeline again on the warm cache (every
+   model is a cache hit; measures the near-zero-cost rerun),
+6. *campaign*: a small injection campaign per benchmark through the
    fault-tolerant executor.
 
-The emitted JSON carries per-phase wall times and per-layer
-(eventsim/dta/executor) timings pulled from the telemetry collector, so
+The emitted JSON carries per-phase wall times, per-layer
+(eventsim/dta/executor) timings pulled from the telemetry collector and
+a ``pipeline`` block (speedup, warm fraction, cache hit/miss counts), so
 `BENCH_campaign.json` accumulates a comparable perf trajectory across
 commits.  `--validate FILE` checks an existing file against the schema
 (used by the CI bench smoke job) and exits non-zero on violations.
@@ -20,6 +26,7 @@ commits.  `--validate FILE` checks an existing file against the schema
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -35,11 +42,24 @@ from repro.circuit.builder import build_adder, bus_values  # noqa: E402
 from repro.circuit.dta import DynamicTimingAnalysis      # noqa: E402
 from repro.circuit.liberty import VR15, VR20             # noqa: E402
 from repro.circuit.sta import StaticTimingAnalysis       # noqa: E402
-from repro.errors import characterize_wa                 # noqa: E402
+from repro.errors import (                               # noqa: E402
+    CharacterizationPipeline,
+    PipelineConfig,
+    characterize_da,
+    characterize_ia,
+    characterize_wa,
+)
+from repro.fpu.unit import DEFAULT_DTA_BATCH             # noqa: E402
 from repro.utils.rng import RngStream                    # noqa: E402
 from repro.workloads import make_workload                # noqa: E402
 
-SCHEMA_VERSION = 1
+#: v2 splits golden runs out of the characterize phase and adds the
+#: characterize_parallel / characterize_warm phases plus the pipeline
+#: speedup block.
+SCHEMA_VERSION = 2
+
+PHASES = ("golden", "characterize", "characterize_parallel",
+          "characterize_warm", "campaign")
 
 DEFAULT_BENCHMARKS = ("kmeans", "hotspot")
 
@@ -71,30 +91,74 @@ def bench_micro_dta(vectors: int, seed: int) -> dict:
             "faulty": faulty, "clock_ps": clock}
 
 
+def _characterize_models(args, profiles, points, phase: dict,
+                         pipeline=None) -> dict:
+    """One full model-development pass: WA per benchmark + IA + DA.
+
+    ``pipeline=None`` is the serial reference; otherwise the parallel,
+    cache-aware engine runs the identical model set.  Per-model wall
+    times land in ``phase["per_benchmark"]`` (IA/DA under the ``ia`` /
+    ``da`` pseudo-entries).
+    """
+    models = {}
+    for name, profile in profiles.items():
+        start = time.perf_counter()
+        models[name] = characterize_wa(profile, points,
+                                       max_samples=args.samples,
+                                       pipeline=pipeline)
+        phase["per_benchmark"][name] = time.perf_counter() - start
+    start = time.perf_counter()
+    characterize_ia(points, samples_per_op=args.ia_samples,
+                    seed=args.seed, pipeline=pipeline)
+    phase["per_benchmark"]["ia"] = time.perf_counter() - start
+    start = time.perf_counter()
+    characterize_da(list(profiles.values()), points,
+                    sample_per_point=args.ia_samples, seed=args.seed,
+                    pipeline=pipeline)
+    phase["per_benchmark"]["da"] = time.perf_counter() - start
+    phase["wall_s"] = sum(phase["per_benchmark"].values())
+    return models
+
+
 def bench_pipeline(args) -> dict:
     telemetry.enable()
     points = [VR15, VR20]
-    phases = {"characterize": {"wall_s": 0.0, "per_benchmark": {}},
-              "campaign": {"wall_s": 0.0, "per_benchmark": {}}}
+    phases = {name: {"wall_s": 0.0, "per_benchmark": {}}
+              for name in PHASES}
 
     micro = bench_micro_dta(args.micro_vectors, args.seed)
 
     runners = {}
-    models = {}
+    profiles = {}
     for name in args.benchmarks:
         start = time.perf_counter()
         workload = make_workload(name, scale=args.scale, seed=args.seed)
         runner = CampaignRunner(workload, seed=args.seed)
-        profile = runner.golden().profile
-        models[name] = characterize_wa(profile, points,
-                                       max_samples=args.samples)
+        profiles[name] = runner.golden().profile
         runners[name] = runner
-        phases["characterize"]["per_benchmark"][name] = (
+        phases["golden"]["per_benchmark"][name] = (
             time.perf_counter() - start
         )
-    phases["characterize"]["wall_s"] = sum(
-        phases["characterize"]["per_benchmark"].values()
+    phases["golden"]["wall_s"] = sum(
+        phases["golden"]["per_benchmark"].values()
     )
+
+    models = _characterize_models(args, profiles, points,
+                                  phases["characterize"])
+
+    with tempfile.TemporaryDirectory(prefix="bench-mcache-") as tmp:
+        cold = CharacterizationPipeline(PipelineConfig(
+            workers=args.pipeline_workers, chunk=DEFAULT_DTA_BATCH,
+            cache_dir=Path(tmp), use_cache=True))
+        _characterize_models(args, profiles, points,
+                             phases["characterize_parallel"], pipeline=cold)
+        warm = CharacterizationPipeline(PipelineConfig(
+            workers=args.pipeline_workers, chunk=DEFAULT_DTA_BATCH,
+            cache_dir=Path(tmp), use_cache=True))
+        _characterize_models(args, profiles, points,
+                             phases["characterize_warm"], pipeline=warm)
+        cache_stats = {"cold": cold.cache.stats(),
+                       "warm": warm.cache.stats()}
 
     for name, runner in runners.items():
         start = time.perf_counter()
@@ -111,6 +175,25 @@ def bench_pipeline(args) -> dict:
 
     snapshot = telemetry.snapshot()
     telemetry.disable()
+
+    serial = phases["characterize"]["wall_s"]
+    parallel = phases["characterize_parallel"]["wall_s"]
+    warm_wall = phases["characterize_warm"]["wall_s"]
+    pipeline_block = {
+        "workers": args.pipeline_workers,
+        "chunk": DEFAULT_DTA_BATCH,
+        "speedup": (serial / parallel) if parallel > 0 else None,
+        "warm_fraction": (warm_wall / serial) if serial > 0 else None,
+        "cache": {
+            "hit": cache_stats["cold"]["hit"] + cache_stats["warm"]["hit"],
+            "miss": (cache_stats["cold"]["miss"]
+                     + cache_stats["warm"]["miss"]),
+            "invalid": (cache_stats["cold"]["invalid"]
+                        + cache_stats["warm"]["invalid"]),
+            "cold": cache_stats["cold"],
+            "warm": cache_stats["warm"],
+        },
+    }
 
     counters = snapshot["counters"]
     layers = {
@@ -140,12 +223,15 @@ def bench_pipeline(args) -> dict:
             "seed": args.seed,
             "runs": args.runs,
             "samples": args.samples,
+            "ia_samples": args.ia_samples,
             "micro_vectors": args.micro_vectors,
             "workers": args.workers,
+            "pipeline_workers": args.pipeline_workers,
             "benchmarks": list(args.benchmarks),
         },
         "micro_dta": micro,
         "phases": phases,
+        "pipeline": pipeline_block,
         "layers": layers,
         "telemetry": snapshot,
     }
@@ -173,12 +259,23 @@ def validate(data) -> list:
     need(data, "config", dict, "$")
 
     phases = need(data, "phases", dict, "$") or {}
-    for phase in ("characterize", "campaign"):
+    for phase in PHASES:
         entry = need(phases, phase, dict, "$.phases") or {}
         wall = need(entry, "wall_s", (int, float), f"$.phases.{phase}")
         if wall is not None and wall < 0:
             problems.append(f"$.phases.{phase}.wall_s is negative")
         need(entry, "per_benchmark", dict, f"$.phases.{phase}")
+
+    pipeline = need(data, "pipeline", dict, "$") or {}
+    need(pipeline, "workers", int, "$.pipeline")
+    need(pipeline, "chunk", int, "$.pipeline")
+    speedup = need(pipeline, "speedup", (int, float), "$.pipeline")
+    if speedup is not None and speedup <= 0:
+        problems.append("$.pipeline.speedup is not positive")
+    need(pipeline, "warm_fraction", (int, float), "$.pipeline")
+    cache = need(pipeline, "cache", dict, "$.pipeline") or {}
+    for key in ("hit", "miss", "invalid"):
+        need(cache, key, int, "$.pipeline.cache")
 
     layers = need(data, "layers", dict, "$") or {}
     for layer in ("eventsim", "dta", "executor"):
@@ -206,14 +303,22 @@ def main(argv=None) -> int:
                         help="injection runs per campaign cell")
     parser.add_argument("--samples", type=int, default=4000,
                         help="WA characterisation sample cap per type")
+    parser.add_argument("--ia-samples", type=int, default=400_000,
+                        help="IA/DA characterisation samples (sized so "
+                             "the DTA work dominates the phase)")
     parser.add_argument("--micro-vectors", type=int, default=64,
                         help="gate-level DTA transitions in the microbench")
     parser.add_argument("--workers", type=int, default=0,
                         help="executor worker processes (0 = serial)")
+    parser.add_argument("--pipeline-workers", type=int, default=4,
+                        help="characterization pipeline worker processes")
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
                         help="comma-separated benchmark list")
     parser.add_argument("--output", default="BENCH_campaign.json")
+    parser.add_argument("--cache-stats", metavar="FILE", default=None,
+                        help="also write the pipeline block (speedup, "
+                             "cache hit/miss) to this JSON file")
     parser.add_argument("--validate", metavar="FILE", default=None,
                         help="validate an existing bench file and exit")
     args = parser.parse_args(argv)
@@ -239,10 +344,20 @@ def main(argv=None) -> int:
     out = Path(args.output)
     out.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {out}")
+    if args.cache_stats:
+        stats_out = Path(args.cache_stats)
+        stats_out.write_text(json.dumps(data["pipeline"], indent=2) + "\n")
+        print(f"wrote {stats_out}")
     print(f"  micro DTA : {data['micro_dta']['wall_s']:8.3f}s "
           f"({data['micro_dta']['transitions']} transitions)")
-    for phase in ("characterize", "campaign"):
-        print(f"  {phase:<10}: {data['phases'][phase]['wall_s']:8.3f}s")
+    for phase in PHASES:
+        print(f"  {phase:<21}: {data['phases'][phase]['wall_s']:8.3f}s")
+    pipe = data["pipeline"]
+    print(f"  pipeline speedup      : {pipe['speedup']:.2f}x "
+          f"(workers={pipe['workers']}, chunk={pipe['chunk']})")
+    print(f"  warm-cache fraction   : {pipe['warm_fraction']:.3f} "
+          f"(cache: {pipe['cache']['hit']} hit / "
+          f"{pipe['cache']['miss']} miss)")
     for layer in ("eventsim", "dta", "executor"):
         print(f"  [{layer}] {data['layers'][layer]['wall_s']:8.3f}s")
     return 0

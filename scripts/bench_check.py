@@ -11,6 +11,13 @@ Only wall times gate; throughput counters (transitions, vectors, runs)
 are compared for config drift and reported, never failed on.  Times
 under ``--min-seconds`` are ignored entirely: at micro scale the noise
 floor of a shared CI box exceeds any signal.
+
+Schema v2 reports additionally gate the characterization pipeline on
+the *candidate* alone: the parallel phase must beat the serial
+reference by ``--pipeline-speedup-min`` and the warm-cache rerun must
+cost at most ``--warm-max-fraction`` of the serial phase (with a small
+absolute floor for noise).  Reports without the pipeline phases skip
+these gates.
 """
 
 import argparse
@@ -88,6 +95,51 @@ def render(rows, tolerance: float) -> str:
     return "\n".join(lines)
 
 
+def check_pipeline(candidate: dict, speedup_min: float,
+                   warm_max_fraction: float, warm_floor_s: float):
+    """Candidate-only pipeline gates; ``(problems, notes)`` lists.
+
+    Gates are skipped (with a note) when the report predates the
+    pipeline phases — bench_check still works on v1-era shapes passed
+    through a matching baseline.
+    """
+    problems = []
+    notes = []
+    phases = candidate.get("phases") or {}
+    serial = (phases.get("characterize") or {}).get("wall_s")
+    parallel = (phases.get("characterize_parallel") or {}).get("wall_s")
+    warm = (phases.get("characterize_warm") or {}).get("wall_s")
+    if serial is None or parallel is None:
+        notes.append("pipeline gates skipped: no characterize_parallel "
+                     "phase in candidate")
+        return problems, notes
+    speedup = (candidate.get("pipeline") or {}).get("speedup")
+    if speedup is None:
+        speedup = serial / parallel if parallel > 0 else float("inf")
+    if speedup < speedup_min:
+        problems.append(
+            f"pipeline speedup {speedup:.2f}x is below the "
+            f"{speedup_min:.2f}x gate (serial {serial:.3f}s vs "
+            f"parallel {parallel:.3f}s)")
+    else:
+        notes.append(f"pipeline speedup {speedup:.2f}x "
+                     f"(gate: >= {speedup_min:.2f}x)")
+    if warm is None:
+        notes.append("warm-cache gate skipped: no characterize_warm "
+                     "phase in candidate")
+        return problems, notes
+    warm_budget = max(warm_max_fraction * serial, warm_floor_s)
+    if warm > warm_budget:
+        problems.append(
+            f"warm-cache rerun {warm:.3f}s exceeds its budget "
+            f"{warm_budget:.3f}s (max({warm_max_fraction:.0%} of serial "
+            f"{serial:.3f}s, {warm_floor_s:.2f}s floor))")
+    else:
+        notes.append(f"warm-cache rerun {warm:.3f}s within budget "
+                     f"{warm_budget:.3f}s")
+    return problems, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate a fresh pipeline benchmark against the "
@@ -102,6 +154,15 @@ def main(argv=None) -> int:
     parser.add_argument("--min-seconds", type=float, default=0.01,
                         help="ignore metrics below this wall time on "
                              "both sides (noise floor)")
+    parser.add_argument("--pipeline-speedup-min", type=float, default=2.0,
+                        help="required characterize/characterize_parallel "
+                             "speedup in the candidate (default 2.0)")
+    parser.add_argument("--warm-max-fraction", type=float, default=0.15,
+                        help="warm-cache rerun budget as a fraction of "
+                             "the serial characterize phase")
+    parser.add_argument("--warm-floor-seconds", type=float, default=0.05,
+                        help="absolute floor of the warm-cache budget "
+                             "(noise guard for tiny benches)")
     args = parser.parse_args(argv)
 
     try:
@@ -123,10 +184,21 @@ def main(argv=None) -> int:
     if mismatch:
         print("warning: benchmark configs differ between baseline and "
               "candidate; deltas may not be comparable")
+    pipeline_problems, pipeline_notes = check_pipeline(
+        candidate, args.pipeline_speedup_min, args.warm_max_fraction,
+        args.warm_floor_seconds)
+    for note in pipeline_notes:
+        print(f"bench_check: {note}")
+    failed = False
     if regressions:
         print(f"bench_check: {len(regressions)} metric(s) regressed past "
               f"+{args.tolerance:.0%}: {', '.join(regressions)}",
               file=sys.stderr)
+        failed = True
+    for problem in pipeline_problems:
+        print(f"bench_check: {problem}", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print("bench_check: no regression past tolerance")
     return 0

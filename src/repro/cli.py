@@ -29,6 +29,8 @@ from repro.campaign.report import executor_stats_table, outcome_table
 from repro.campaign.runner import CampaignRunner
 from repro.circuit.liberty import TECHNOLOGY, VR15, VR20
 from repro.errors import (
+    CharacterizationPipeline,
+    PipelineConfig,
     characterize_da,
     characterize_ia,
     characterize_wa,
@@ -59,8 +61,29 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _make_pipeline(args) -> "CharacterizationPipeline | None":
+    """Build the parallel characterization pipeline from CLI flags.
+
+    No pipeline flag at all keeps the legacy serial path (byte-stable
+    model output); any of ``--workers`` / ``--chunk`` / ``--cache-dir``
+    routes characterisation through :mod:`repro.errors.pipeline`.
+    """
+    if args.workers is None and args.chunk is None and not args.cache_dir:
+        return None
+    from repro.fpu.unit import DEFAULT_DTA_BATCH
+
+    config = PipelineConfig(
+        workers=args.workers or 0,
+        chunk=args.chunk if args.chunk is not None else DEFAULT_DTA_BATCH,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        use_cache=bool(args.cache_dir) and not args.no_cache,
+    )
+    return CharacterizationPipeline(config)
+
+
 def _cmd_characterize(args) -> int:
     points = _points_for(args.vr)
+    pipeline = _make_pipeline(args)
     workload = make_workload(args.benchmark, scale=args.scale,
                              seed=args.seed)
     runner = CampaignRunner(workload, seed=args.seed)
@@ -69,23 +92,29 @@ def _cmd_characterize(args) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
 
     if args.model in ("wa", "all"):
-        path = store.save_wa(characterize_wa(profile, points),
-                             out_dir / f"wa_{args.benchmark}.json")
+        path = store.save_wa(
+            characterize_wa(profile, points, pipeline=pipeline),
+            out_dir / f"wa_{args.benchmark}.json")
         print(f"wrote {path}")
     if args.model in ("ia", "all"):
         path = store.save_ia(
             characterize_ia(points, samples_per_op=args.samples,
-                            seed=args.seed),
+                            seed=args.seed, pipeline=pipeline),
             out_dir / "ia.json",
         )
         print(f"wrote {path}")
     if args.model in ("da", "all"):
         path = store.save_da(
             characterize_da([profile], points,
-                            sample_per_point=args.samples, seed=args.seed),
+                            sample_per_point=args.samples, seed=args.seed,
+                            pipeline=pipeline),
             out_dir / "da.json",
         )
         print(f"wrote {path}")
+    if pipeline is not None and pipeline.cache is not None:
+        stats = pipeline.cache.stats()
+        print(f"cache: {stats['hit']} hit(s), {stats['miss']} miss(es), "
+              f"{stats['invalid']} invalid at {pipeline.cache.root}")
     return 0
 
 
@@ -129,6 +158,12 @@ def _cmd_campaign(args) -> int:
             model = store.load_any(args.model_file)
         else:
             model = characterize_wa(profile, points)
+        if sink is not None and model.provenance is not None:
+            # Framed record so `repro report` can show where the injected
+            # model came from (benchmark, seed, samples, trace digest).
+            sink.emit({"type": "provenance", "model": model.name,
+                       "line": model.provenance.describe(),
+                       **model.provenance.to_dict()})
         config = ExecutorConfig(
             workers=args.workers,
             wall_clock_timeout=args.wall_timeout,
@@ -192,15 +227,22 @@ def _cmd_report(args) -> int:
     results = load_campaign_results(args.journal) if args.journal else []
     records = flight.load_records(args.trace) if args.trace else []
     snapshot = None
+    provenance = []
     if args.trace:
         from repro.telemetry.sinks import read_trace
 
-        for event in reversed(read_trace(args.trace)):
+        events = read_trace(args.trace)
+        for event in reversed(events):
             if event.get("type") == "snapshot":
                 snapshot = event
                 break
+        provenance = [
+            f"{event.get('model', '?')}: {event['line']}"
+            for event in events
+            if event.get("type") == "provenance" and event.get("line")
+        ]
     out = write_report(args.html, results, records, snapshot,
-                       title=args.title)
+                       title=args.title, provenance_lines=provenance)
     print(f"wrote {out}")
     return 0
 
@@ -237,6 +279,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=100_000)
     p.add_argument("--seed", type=int, default=2021)
     p.add_argument("--output", default="artifacts")
+    p.add_argument("--workers", type=int, default=None,
+                   help="characterization worker processes "
+                        "(unset = legacy serial path; 0 = pipeline, "
+                        "in-process)")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="operand chunk size streamed through DTA "
+                        "(bounds peak memory; result is bit-identical "
+                        "for any value)")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed model cache directory; "
+                        "repeat runs with identical inputs are near-free")
+    p.add_argument("--no-cache", action="store_true",
+                   help="compute fresh even when --cache-dir is set "
+                        "(entries are still not rewritten)")
 
     p = sub.add_parser("campaign", help="run an injection campaign")
     p.add_argument("benchmark", choices=sorted(WORKLOADS))

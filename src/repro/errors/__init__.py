@@ -7,7 +7,10 @@
 - :mod:`repro.errors.wa` — the proposed instruction- and workload-aware
   model backed by trace-level dynamic timing analysis,
 - :mod:`repro.errors.characterize` — the model-development phase drivers
-  that build all three from DTA.
+  that build all three from DTA (the serial reference implementation),
+- :mod:`repro.errors.pipeline` — the parallel, content-addressed
+  characterization engine (worker pool, chunk-invariant RNG blocks,
+  on-disk model cache).
 """
 
 from repro.errors.base import (
@@ -25,8 +28,22 @@ from repro.errors.characterize import (
     characterize_wa,
     random_operands,
 )
+from repro.errors.pipeline import (
+    CharacterizationPipeline,
+    ModelCache,
+    PipelineConfig,
+    PipelineError,
+    cache_key,
+    trace_digest,
+)
 
 __all__ = [
+    "CharacterizationPipeline",
+    "ModelCache",
+    "PipelineConfig",
+    "PipelineError",
+    "cache_key",
+    "trace_digest",
     "ErrorModel",
     "InjectionPlan",
     "Victim",

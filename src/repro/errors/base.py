@@ -61,16 +61,21 @@ class Provenance:
     Carried through :mod:`repro.errors.store` artifacts so a loaded model
     still says which benchmark trace, seed, sample budget and operating
     points produced it (the reproducibility half of the Fig. 2 handoff).
+    ``trace_digest`` is the content hash of the operand trace that fed
+    workload-dependent characterisation (WA/DA); it doubles as the
+    trace component of the pipeline's content-addressed cache key.
     """
 
     benchmark: Optional[str] = None
     seed: Optional[int] = None
     samples: Optional[int] = None
     points: Tuple[str, ...] = ()
+    trace_digest: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {"benchmark": self.benchmark, "seed": self.seed,
-                "samples": self.samples, "points": list(self.points)}
+                "samples": self.samples, "points": list(self.points),
+                "trace_digest": self.trace_digest}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Provenance":
@@ -79,7 +84,23 @@ class Provenance:
             seed=data.get("seed"),
             samples=data.get("samples"),
             points=tuple(data.get("points") or ()),
+            trace_digest=data.get("trace_digest"),
         )
+
+    def describe(self) -> str:
+        """One human-readable provenance line for reports."""
+        parts = []
+        if self.benchmark:
+            parts.append(f"benchmark={self.benchmark}")
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        if self.samples is not None:
+            parts.append(f"samples={self.samples}")
+        if self.points:
+            parts.append("points=" + "+".join(self.points))
+        if self.trace_digest:
+            parts.append(f"trace={self.trace_digest[:12]}")
+        return ", ".join(parts) if parts else "(no provenance)"
 
 
 @dataclass(frozen=True)

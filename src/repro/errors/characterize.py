@@ -40,14 +40,26 @@ def random_operands(op: FpOp, n: int, rng: RngStream,
     Matches the paper's IA characterisation inputs: operand *values* drawn
     uniformly from a symmetric range (integers for i2f), encoded in the
     instruction's format.
+
+    i2f operands are integer bit patterns in two's complement at the
+    *operand* width.  For ``i2f.s`` the 32-bit source register rides in
+    the low 32 bits of the uint64 operand word with the high bits zero —
+    the converter reads only its operand width, so a negative value v
+    is encoded as ``v mod 2**32``.  Drawn values span
+    [-2**30, 2**30), hence encodings land in
+    [0, 2**30) | [2**32 - 2**30, 2**32), never in between.
     """
     if op.kind == "i2f":
         width = 64 if op.is_double else 32
         low = -(1 << (width - 2))
         a = rng.integers(low, -low, size=n).astype(np.int64)
-        if not op.is_double:
-            a = a & 0xFFFFFFFF
-        return a.view(np.uint64) if op.is_double else a.astype(np.uint64), None
+        if op.is_double:
+            return a.view(np.uint64), None
+        # Truncate to the 32-bit operand register: two's complement in
+        # the low word, high word zero.
+        encoded = (a & 0xFFFFFFFF).astype(np.uint64)
+        assert not encoded.size or int(encoded.max()) < (1 << 32)
+        return encoded, None
     values = rng.generator.uniform(-magnitude, magnitude, size=n)
     a = ops.values_to_bits(op, values)
     if not op.has_two_operands:
@@ -72,13 +84,23 @@ def characterize_ia(points: Sequence[OperatingPoint],
                     samples_per_op: int = DEFAULT_SAMPLE,
                     seed: int = 2021,
                     ops_under_test: Optional[Iterable[FpOp]] = None,
+                    pipeline: Optional["CharacterizationPipeline"] = None,
                     ) -> IaModel:
     """Build the IA-model: DTA on random operands per instruction type.
 
     This run also yields the Fig. 7 data (per-bit injection probabilities
     per instruction type and VR level) via
     :meth:`repro.errors.ia.InstructionStats.unconditional_ber`.
+
+    With ``pipeline`` given, delegates to the parallel, cache-aware
+    engine of :mod:`repro.errors.pipeline` (chunk-invariant RNG-block
+    operand streams; statistically equivalent to, but a different
+    sample stream than, this serial reference).
     """
+    if pipeline is not None:
+        return pipeline.characterize_ia(
+            points, samples_per_op=samples_per_op, seed=seed,
+            ops_under_test=ops_under_test)
     fpu = fpu or FPU()
     rng = RngStream(seed, "ia-characterization")
     stats: Dict[str, Dict[FpOp, InstructionStats]] = {
@@ -115,13 +137,18 @@ def characterize_da(profiles: Sequence[WorkloadProfile],
                     points: Sequence[OperatingPoint],
                     fpu: Optional[FPU] = None,
                     sample_per_point: int = DEFAULT_SAMPLE,
-                    seed: int = 2021) -> DaModel:
+                    seed: int = 2021,
+                    pipeline: Optional["CharacterizationPipeline"] = None,
+                    ) -> DaModel:
     """Build the DA-model: one fixed ER per point from the benchmark mix.
 
     Follows Section IV.C.1: instructions are randomly extracted from the
     considered benchmarks (their recorded traces), DTA measures the mean
     error ratio, and that single number becomes the model.
     """
+    if pipeline is not None:
+        return pipeline.characterize_da(
+            profiles, points, sample_per_point=sample_per_point, seed=seed)
     fpu = fpu or FPU()
     rng = RngStream(seed, "da-characterization")
     ratios: Dict[str, float] = {}
@@ -161,14 +188,25 @@ def characterize_wa(profile: WorkloadProfile,
                     points: Sequence[OperatingPoint],
                     fpu: Optional[FPU] = None,
                     max_samples: int = 1_000_000,
-                    burst_window: int = 8) -> WaModel:
+                    burst_window: int = 8,
+                    pipeline: Optional["CharacterizationPipeline"] = None,
+                    ) -> WaModel:
     """Build the WA-model: DTA over the workload's own operand trace.
 
     Per Section IV.C.3 the paper applies DTA to 1 M instructions randomly
     extracted from the executed workload; we analyse the recorded trace up
     to ``max_samples`` per type.  The per-bit BER arrays captured here are
     the Fig. 8 series.
+
+    With ``pipeline`` given, delegates to the parallel, cache-aware
+    engine; WA characterisation draws no random numbers, so the pipeline
+    result is bit-identical to this serial reference for any worker
+    count and chunk size.
     """
+    if pipeline is not None:
+        return pipeline.characterize_wa(
+            profile, points, max_samples=max_samples,
+            burst_window=burst_window)
     fpu = fpu or FPU()
     faults: Dict[str, Dict[FpOp, TraceFaults]] = {
         point.name: {} for point in points

@@ -25,6 +25,11 @@ from repro.errors.wa import WaModel
 _FORMAT_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
 
+#: Public alias: the characterization pipeline folds the artifact schema
+#: version into its content-addressed cache key, so bumping the format
+#: automatically invalidates every cached model.
+FORMAT_VERSION = _FORMAT_VERSION
+
 PathLike = Union[str, Path]
 
 

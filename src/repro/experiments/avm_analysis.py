@@ -36,6 +36,10 @@ OPTIONS = (
     Option("samples", int, 50_000, "characterisation samples per type"),
     Option("benchmarks", comma_separated_names, BENCHMARKS,
            "comma-separated benchmark subset"),
+    Option("workers", int, None,
+           "characterization worker processes (unset = legacy serial)"),
+    Option("cache_dir", str, None,
+           "content-addressed model cache directory (unset = no cache)"),
 )
 
 
@@ -60,9 +64,11 @@ def run(context: Optional[ExperimentContext] = None,
         campaign_results: Optional[List[CampaignResult]] = None,
         runs: int = 200, scale: str = "small",
         seed: int = 2021, samples: int = 50_000,
-        benchmarks=None) -> AvmResult:
+        benchmarks=None, workers: Optional[int] = None,
+        cache_dir: Optional[str] = None) -> AvmResult:
     context = ensure_context(context, scale=scale, seed=seed,
-                             samples=samples, benchmarks=benchmarks)
+                             samples=samples, benchmarks=benchmarks,
+                             workers=workers, cache_dir=cache_dir)
     if campaign_results is None:
         campaign_results = context.run_campaigns(runs)
 

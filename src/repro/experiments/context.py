@@ -9,45 +9,76 @@ its seed, so every driver regenerates identical numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.campaign.executor import CampaignExecutor, ExecutorConfig
 from repro.campaign.journal import RunJournal
 from repro.campaign.runner import CampaignResult, CampaignRunner
 from repro.circuit.liberty import OperatingPoint, VR15, VR20
 from repro.errors import (
+    CharacterizationPipeline,
     DaModel,
     IaModel,
+    PipelineConfig,
     WaModel,
     characterize_da,
     characterize_ia,
     characterize_wa,
 )
 from repro.errors.base import ErrorModel, WorkloadProfile
-from repro.fpu.unit import FPU
+from repro.fpu.unit import DEFAULT_DTA_BATCH, FPU
 from repro.workloads import WORKLOADS, make_workload
 
 #: Table II benchmark order.
 BENCHMARKS = ("sobel", "cg", "kmeans", "srad_v1", "hotspot", "is", "mg")
 
 
+def _make_pipeline(fpu: FPU,
+                   workers: Optional[int],
+                   chunk: Optional[int],
+                   cache_dir: Optional[Union[str, Path]],
+                   ) -> Optional[CharacterizationPipeline]:
+    """Build a characterization pipeline when any knob is set.
+
+    All knobs ``None`` means "legacy serial path" — the context then
+    reproduces the historical model numbers byte for byte.
+    """
+    if workers is None and chunk is None and cache_dir is None:
+        return None
+    config = PipelineConfig(
+        workers=workers or 0,
+        chunk=chunk if chunk is not None else DEFAULT_DTA_BATCH,
+        cache_dir=Path(cache_dir) if cache_dir is not None else None,
+        use_cache=cache_dir is not None,
+    )
+    return CharacterizationPipeline(config, fpu=fpu)
+
+
 def ensure_context(context: Optional["ExperimentContext"],
                    scale: str = "small", seed: int = 2021,
                    samples: int = 50_000,
                    benchmarks: Optional[Sequence[str]] = None,
+                   workers: Optional[int] = None,
+                   chunk: Optional[int] = None,
+                   cache_dir: Optional[Union[str, Path]] = None,
                    ) -> "ExperimentContext":
     """Reuse a supplied context or build one from the uniform options.
 
     Every registry driver funnels its ``scale`` / ``seed`` / ``samples``
     / ``benchmarks`` options through here, so the model-development
     phase is configured identically no matter which artifact asked for
-    it.
+    it.  ``workers`` / ``chunk`` / ``cache_dir`` opt the build into the
+    parallel, content-addressed characterization pipeline
+    (:mod:`repro.errors.pipeline`); all three left ``None`` keeps the
+    legacy serial path.
     """
     if context is not None:
         return context
     return ExperimentContext.create(
         scale=scale, seed=seed, characterization_samples=samples,
         benchmarks=tuple(benchmarks) if benchmarks else BENCHMARKS,
+        workers=workers, chunk=chunk, cache_dir=cache_dir,
     )
 
 
@@ -64,16 +95,32 @@ class ExperimentContext:
     da: DaModel
     ia: IaModel
     wa: Dict[str, WaModel]
+    #: The characterization pipeline the models were built with (``None``
+    #: when the legacy serial path was used).
+    pipeline: Optional[CharacterizationPipeline] = None
 
     @classmethod
     def create(cls, scale: str = "small", seed: int = 2021,
                points: Optional[Sequence[OperatingPoint]] = None,
                characterization_samples: int = 50_000,
                benchmarks: Sequence[str] = BENCHMARKS,
+               pipeline: Optional[CharacterizationPipeline] = None,
+               workers: Optional[int] = None,
+               chunk: Optional[int] = None,
+               cache_dir: Optional[Union[str, Path]] = None,
                ) -> "ExperimentContext":
-        """Model-development phase over the chosen benchmarks."""
+        """Model-development phase over the chosen benchmarks.
+
+        Pass ``pipeline`` (or any of ``workers`` / ``chunk`` /
+        ``cache_dir``, which build one) to route all three
+        characterisations through the parallel, cache-aware engine;
+        the WA models stay bit-identical to the serial path, and cached
+        artifacts make repeat builds near-free.
+        """
         points = list(points) if points else [VR15, VR20]
         fpu = FPU()
+        if pipeline is None:
+            pipeline = _make_pipeline(fpu, workers, chunk, cache_dir)
         runners: Dict[str, CampaignRunner] = {}
         profiles: Dict[str, WorkloadProfile] = {}
         wa: Dict[str, WaModel] = {}
@@ -83,15 +130,17 @@ class ExperimentContext:
             golden = runner.golden()
             runners[name] = runner
             profiles[name] = golden.profile
-            wa[name] = characterize_wa(golden.profile, points, fpu=fpu)
+            wa[name] = characterize_wa(golden.profile, points, fpu=fpu,
+                                       pipeline=pipeline)
         ia = characterize_ia(points, fpu=fpu,
                              samples_per_op=characterization_samples,
-                             seed=seed)
+                             seed=seed, pipeline=pipeline)
         da = characterize_da(list(profiles.values()), points, fpu=fpu,
                              sample_per_point=characterization_samples,
-                             seed=seed)
+                             seed=seed, pipeline=pipeline)
         return cls(scale=scale, seed=seed, points=points, fpu=fpu,
-                   runners=runners, profiles=profiles, da=da, ia=ia, wa=wa)
+                   runners=runners, profiles=profiles, da=da, ia=ia, wa=wa,
+                   pipeline=pipeline)
 
     @property
     def benchmarks(self) -> List[str]:

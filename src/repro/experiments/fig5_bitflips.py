@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.circuit.liberty import VR15, VR20
 from repro.errors.characterize import random_operands
+from repro.errors.pipeline import CharacterizationPipeline, PipelineConfig
 from repro.experiments import Option
 from repro.fpu.formats import OPS_DOUBLE
 from repro.fpu.unit import FPU
@@ -28,6 +29,8 @@ OPTIONS = (
     Option("samples_per_op", int, 100_000,
            "random operand pairs per instruction type"),
     Option("seed", int, 2021, "operand-generation seed"),
+    Option("workers", int, 0,
+           "DTA worker processes (0 = serial; any count is bit-identical)"),
 )
 
 
@@ -39,29 +42,49 @@ class Fig5Result:
 
 
 def run(context=None, samples_per_op: int = 100_000,
-        seed: int = 2021) -> Fig5Result:
+        seed: int = 2021, workers: int = 0) -> Fig5Result:
+    """The operand stream is always the historical ``fig5`` RNG stream;
+    ``workers`` only fans the DTA reduction out, so the histogram is
+    bit-identical for any worker count."""
     fpu = context.fpu if context is not None else FPU()
+    pipeline = context.pipeline if context is not None else None
+    if pipeline is None and workers:
+        pipeline = CharacterizationPipeline(
+            PipelineConfig(workers=workers, use_cache=False), fpu=fpu)
     rng = RngStream(seed, "fig5")
     points = [VR15, VR20]
-    flips: Dict[str, List[np.ndarray]] = {p.name: [] for p in points}
+    hists: Dict[str, np.ndarray] = {}
     for op in OPS_DOUBLE:
         a, b = random_operands(op, samples_per_op, rng.child(op.value))
-        batch = fpu.dta(op, a, b, points)
-        for point in points:
-            masks = batch.masks[point.name]
-            faulty = masks[masks != 0]
-            if faulty.size:
-                flips[point.name].append(count_ones(faulty))
+        if pipeline is not None:
+            op_hists = pipeline.flip_histograms(op, a, b, points)
+        else:
+            batch = fpu.dta(op, a, b, points)
+            op_hists = {}
+            for point in points:
+                masks = batch.masks[point.name]
+                faulty = masks[masks != 0]
+                op_hists[point.name] = np.bincount(
+                    count_ones(faulty) if faulty.size
+                    else np.zeros(0, dtype=np.int64),
+                    minlength=op.fmt.width + 1).astype(np.int64)
+        for name, hist in op_hists.items():
+            if name not in hists:
+                hists[name] = np.zeros(hist.size, dtype=np.int64)
+            if hists[name].size < hist.size:
+                hists[name] = np.pad(hists[name],
+                                     (0, hist.size - hists[name].size))
+            hists[name][:hist.size] += hist
     histogram: Dict[str, Dict[int, int]] = {}
     multi: Dict[str, float] = {}
     for point in points:
-        merged = (np.concatenate(flips[point.name])
-                  if flips[point.name] else np.zeros(0, dtype=np.int64))
-        values, counts = np.unique(merged, return_counts=True)
-        histogram[point.name] = {int(v): int(c)
-                                 for v, c in zip(values, counts)}
-        multi[point.name] = (float(np.mean(merged > 1))
-                             if merged.size else 0.0)
+        hist = hists.get(point.name, np.zeros(1, dtype=np.int64))
+        histogram[point.name] = {int(n): int(c)
+                                 for n, c in enumerate(hist)
+                                 if n >= 1 and c}
+        faulty_total = int(hist[1:].sum())
+        multi[point.name] = (float(hist[2:].sum() / faulty_total)
+                             if faulty_total else 0.0)
     average = sum(multi.values()) / len(multi)
     return Fig5Result(histogram=histogram, multi_bit_fraction=multi,
                       average_multi_bit=average)

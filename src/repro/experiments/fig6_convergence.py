@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.circuit.liberty import VR15, VR20, OperatingPoint
 from repro.errors.base import WorkloadProfile
+from repro.errors.pipeline import CharacterizationPipeline, PipelineConfig
 from repro.experiments import Option, comma_separated_ints
 from repro.fpu.formats import FpOp, op_by_mnemonic
 from repro.fpu.unit import FPU
@@ -36,6 +37,8 @@ OPTIONS = (
            "operating point (VR15 or VR20)"),
     Option("seed", int, 2021, "trace/subset seed"),
     Option("scale", str, "small", "workload scale (tiny/small/paper)"),
+    Option("workers", int, 0,
+           "DTA worker processes (0 = serial; any count is bit-identical)"),
 )
 
 
@@ -49,7 +52,13 @@ class Fig6Result:
     absolute_error: Dict[int, float]
 
 
-def _per_bit_ber(fpu: FPU, op: FpOp, a, b, point) -> np.ndarray:
+def _per_bit_ber(fpu: FPU, op: FpOp, a, b, point,
+                 pipeline: Optional[CharacterizationPipeline] = None
+                 ) -> np.ndarray:
+    if pipeline is not None:
+        # Pure count reduction: bit-identical to the full-batch path
+        # below for any chunk size or worker count.
+        return pipeline.per_bit_ber(op, a, b, [point])[point.name]
     masks = fpu.dta(op, a, b, [point]).masks[point.name]
     width = op.fmt.width
     ber = np.zeros(width)
@@ -67,7 +76,8 @@ def run(context=None,
         op: FpOp = FpOp.MUL_D,
         point: OperatingPoint = VR20,
         seed: int = 2021,
-        scale: str = "small") -> Fig6Result:
+        scale: str = "small",
+        workers: int = 0) -> Fig6Result:
     """Needs one benchmark's trace: from ``profile`` when given, else the
     shared ``context``, else a fresh golden run of ``benchmark``."""
     if profile is None and context is not None:
@@ -84,7 +94,11 @@ def run(context=None,
         raise ValueError(f"profile {profile.name!r} has no {op} trace")
     a, b = profile.trace_by_op[op]
     fpu = FPU()
-    full_ber = _per_bit_ber(fpu, op, a, b, point)
+    pipeline = context.pipeline if context is not None else None
+    if pipeline is None and workers:
+        pipeline = CharacterizationPipeline(
+            PipelineConfig(workers=workers, use_cache=False), fpu=fpu)
+    full_ber = _per_bit_ber(fpu, op, a, b, point, pipeline)
     rng = RngStream(seed, "fig6")
     sampled: Dict[int, np.ndarray] = {}
     errors: Dict[int, float] = {}
@@ -94,7 +108,8 @@ def run(context=None,
         # from the trace; at K == trace size the estimate is exact.
         sel = rng.choice(a.size, size=take, replace=False)
         ber = _per_bit_ber(fpu, op, a[sel],
-                           b[sel] if b is not None else None, point)
+                           b[sel] if b is not None else None, point,
+                           pipeline)
         sampled[k] = ber
         errors[k] = average_absolute_error(full_ber, ber)
     return Fig6Result(op=op, point=point.name, full_trace_size=int(a.size),

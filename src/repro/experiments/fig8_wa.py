@@ -31,6 +31,10 @@ OPTIONS = (
     Option("samples", int, 50_000, "characterisation samples per type"),
     Option("benchmarks", comma_separated_names, BENCHMARKS,
            "comma-separated benchmark subset"),
+    Option("workers", int, None,
+           "characterization worker processes (unset = legacy serial)"),
+    Option("cache_dir", str, None,
+           "content-addressed model cache directory (unset = no cache)"),
 )
 
 
@@ -44,9 +48,12 @@ class Fig8Result:
 
 def run(context: Optional[ExperimentContext] = None,
         scale: str = "small", seed: int = 2021,
-        samples: int = 50_000, benchmarks=None) -> Fig8Result:
+        samples: int = 50_000, benchmarks=None,
+        workers: Optional[int] = None,
+        cache_dir: Optional[str] = None) -> Fig8Result:
     context = ensure_context(context, scale=scale, seed=seed,
-                             samples=samples, benchmarks=benchmarks)
+                             samples=samples, benchmarks=benchmarks,
+                             workers=workers, cache_dir=cache_dir)
     ber: Dict[str, Dict[str, Dict[str, np.ndarray]]] = {}
     mass: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name, model in context.wa.items():

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.campaign.report import feature_matrix
@@ -18,10 +18,27 @@ OPTIONS = ()
 @dataclass
 class Table1Result:
     rows: List[Dict[str, object]]
+    #: "<kind>: <provenance>" lines when built from characterised models.
+    provenance: List[str] = field(default_factory=list)
 
 
 def run(context=None) -> Table1Result:
-    """Definitional feature matrix; ``context`` accepted for uniformity."""
+    """Definitional feature matrix.
+
+    With a shared ``context``, the rows come from its characterised
+    models (same features, but the result also carries their provenance
+    lines); without one, definitional placeholder models are used.
+    """
+    if context is not None:
+        models = [context.da, context.ia,
+                  next(iter(context.wa.values()))]
+        provenance = [
+            f"{model.name}: {model.provenance.describe()}"
+            for model in models
+            if getattr(model, "provenance", None) is not None
+        ]
+        return Table1Result(rows=[m.feature_row() for m in models],
+                            provenance=provenance)
     models = [
         DaModel({"VR15": 1e-3, "VR20": 1e-2}),
         IaModel({"VR15": {}, "VR20": {}}),
@@ -38,8 +55,13 @@ def render(result: Table1Result) -> str:
         def feature_row(self):
             return self._row
 
-    return ("Table I — error-model feature overview\n"
+    text = ("Table I — error-model feature overview\n"
             + feature_matrix(_Rowed(row) for row in result.rows))
+    if result.provenance:
+        text += "\n  characterised from:"
+        for line in result.provenance:
+            text += f"\n    {line}"
+    return text
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -251,6 +251,37 @@ class TimingModel:
         """Failure depth threshold of the op's mantissa path at ``point``."""
         return self.config.mantissa_params(op).k_star(self.threshold(point))
 
+    def _path_classes(self, op: FpOp) -> List[PathClass]:
+        """Every path class that can contribute bits to ``error_masks``.
+
+        Mirrors the per-kind mask builders below: add/sub/mul combine the
+        mantissa datapath with the rounding incrementer and the exponent
+        update; div and the conversions are mantissa-only.
+        """
+        cfg = self.config
+        classes = [cfg.mantissa_params(op)]
+        if op.kind in ("add", "sub", "mul"):
+            classes.append(cfg.aux_params(cfg.round, op))
+            eparams = cfg.exponent_params(op)
+            if eparams is not None:
+                classes.append(eparams)
+        return classes
+
+    def is_error_free(self, op: FpOp, point: OperatingPoint) -> bool:
+        """True when ``error_masks`` is provably all-zero at ``point``.
+
+        Holds exactly when every contributing path class keeps positive
+        slack (``k_star == inf``) at the point's threshold: each mask
+        builder contributes nothing under that condition, for *any*
+        operand data.  The characterization pipeline uses this to skip
+        DTA entirely for (op, point) pairs that cannot fail — e.g. all
+        single-precision instructions and the conversions at the paper's
+        VR15/VR20 levels.
+        """
+        threshold = self.threshold(point)
+        return all(math.isinf(params.k_star(threshold))
+                   for params in self._path_classes(op))
+
     # -- main entry point -----------------------------------------------------------
     def error_masks(self, op: FpOp, a: np.ndarray,
                     b: Optional[np.ndarray],

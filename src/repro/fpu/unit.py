@@ -19,6 +19,13 @@ from repro.fpu.formats import FpOp
 from repro.fpu.timing import DEFAULT_MODEL, TimingModel
 from repro import telemetry
 
+#: Default DTA operand-chunk size.  Sized so the handful of uint64
+#: temporaries a vectorised mask builder materialises (~10-15 arrays)
+#: stay within a typical 1 MiB L2 slice: 12288 x 8 B x ~10 = 0.98 MiB.
+#: Measured on the characterisation workload this out-performs
+#: full-batch evaluation by ~1.7-2x (see DESIGN.md section 9).
+DEFAULT_DTA_BATCH = 12288
+
 
 @dataclass
 class DtaBatch:
@@ -56,13 +63,37 @@ class FPU:
 
     # -- dynamic timing analysis ----------------------------------------------------
     def dta(self, op: FpOp, a: np.ndarray, b: Optional[np.ndarray],
-            points: Sequence[OperatingPoint]) -> DtaBatch:
-        """Two-instance DTA over a batch (Section III.A.1, vectorised)."""
+            points: Sequence[OperatingPoint],
+            max_batch: Optional[int] = None) -> DtaBatch:
+        """Two-instance DTA over a batch (Section III.A.1, vectorised).
+
+        ``max_batch`` streams the operands through the timing model in
+        chunks of at most that many elements, bounding peak memory and
+        keeping temporaries cache-resident; the mask builders are
+        elementwise, so the result is bit-identical to the full-batch
+        evaluation for any chunk size.
+        """
         a = np.asarray(a, dtype=np.uint64)
         with telemetry.span("fpu.dta", op=op.value, batch=int(a.size)):
-            golden = ops.golden(op, a, b)
-            masks = self.timing_model.error_masks(op, a, b, points,
-                                                  golden=golden)
+            if max_batch and a.size > max_batch:
+                golden_parts = []
+                mask_parts = {point.name: [] for point in points}
+                for lo in range(0, a.size, max_batch):
+                    aa = a[lo:lo + max_batch]
+                    bb = b[lo:lo + max_batch] if b is not None else None
+                    part = ops.golden(op, aa, bb)
+                    golden_parts.append(part)
+                    chunk_masks = self.timing_model.error_masks(
+                        op, aa, bb, points, golden=part)
+                    for name, mask in chunk_masks.items():
+                        mask_parts[name].append(mask)
+                golden = np.concatenate(golden_parts)
+                masks = {name: np.concatenate(parts)
+                         for name, parts in mask_parts.items()}
+            else:
+                golden = ops.golden(op, a, b)
+                masks = self.timing_model.error_masks(op, a, b, points,
+                                                      golden=golden)
         telemetry.count("fpu.dta.batches")
         telemetry.count("fpu.dta.vectors", int(a.size))
         telemetry.observe("fpu.dta.batch_size", int(a.size))

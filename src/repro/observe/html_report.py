@@ -513,17 +513,28 @@ pre {
 """
 
 
+def _section_provenance(lines: Sequence[str]) -> str:
+    """Where the injected error model(s) came from (characterisation
+    benchmark, seed, sample budget, operand-trace digest)."""
+    if not lines:
+        return ""
+    items = "".join(f"<li><code>{_esc(line)}</code></li>" for line in lines)
+    return ("<section><h2>Model provenance</h2>"
+            f"<ul>{items}</ul></section>")
+
+
 def render_html(results: Sequence[CampaignResult],
                 flight_records: Sequence[FlightRecord] = (),
                 telemetry_snapshot: Optional[Mapping[str, Any]] = None,
-                title: str = "Timing-error campaign report") -> str:
+                title: str = "Timing-error campaign report",
+                provenance_lines: Sequence[str] = ()) -> str:
     """Render the whole report as one self-contained HTML string."""
     results = list(results)
     flight_records = list(flight_records)
     total_runs = sum(r.counts.total for r in results)
     sub = (f"{len(results)} campaign cell(s), {total_runs} classified "
            f"runs, {len(flight_records)} flight record(s)")
-    sections = []
+    sections = [_section_provenance(provenance_lines)]
     if results:
         sections.append(_section_outcomes(results))
         sections.append(_section_avm(results))
@@ -550,12 +561,13 @@ def render_html(results: Sequence[CampaignResult],
 def write_report(path, results: Sequence[CampaignResult],
                  flight_records: Sequence[FlightRecord] = (),
                  telemetry_snapshot: Optional[Mapping[str, Any]] = None,
-                 title: str = "Timing-error campaign report") -> Path:
+                 title: str = "Timing-error campaign report",
+                 provenance_lines: Sequence[str] = ()) -> Path:
     """Render and write the report; returns the written path."""
     out = Path(path)
     out.write_text(
         render_html(results, flight_records, telemetry_snapshot,
-                    title=title),
+                    title=title, provenance_lines=provenance_lines),
         encoding="utf-8",
     )
     return out

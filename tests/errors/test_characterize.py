@@ -32,6 +32,38 @@ class TestRandomOperands:
         spread = int(exponents.max()) - int(np.percentile(exponents, 5))
         assert spread < 64
 
+    def test_i2f_single_truncation_bounds(self):
+        """Regression: i2f.s encodings are 32-bit two's complement.
+
+        Drawn values span [-2**30, 2**30), so after truncation to the
+        32-bit operand register the encodings land in
+        [0, 2**30) | [2**32 - 2**30, 2**32) — never in between, and
+        never with the high uint64 word set.
+        """
+        a, b = random_operands(FpOp.I2F_S, 20_000, RngStream(3, "i2f-reg"))
+        assert b is None
+        assert a.dtype == np.uint64
+        assert int(a.max()) < (1 << 32)
+        low = a < (1 << 30)
+        high = a >= ((1 << 32) - (1 << 30))
+        assert np.all(low | high)
+        assert low.any() and high.any()
+        # The encoding is exactly v mod 2**32 of the signed values.
+        signed = np.where(high, a.astype(np.int64) - (1 << 32),
+                          a.astype(np.int64))
+        assert int(signed.min()) >= -(1 << 30)
+        assert int(signed.max()) < (1 << 30)
+
+    def test_i2f_double_value_range(self):
+        """i2f.d draws full-width signed integers in [-2**62, 2**62)."""
+        a, b = random_operands(FpOp.I2F_D, 20_000, RngStream(3, "i2f-d"))
+        assert b is None
+        assert a.dtype == np.uint64
+        signed = a.view(np.int64)
+        assert int(signed.min()) >= -(1 << 62)
+        assert int(signed.max()) < (1 << 62)
+        assert (signed < 0).any() and (signed > 0).any()
+
 
 class TestCharacterizeIa(object):
     def test_structure_and_paper_shape(self, ia_model):

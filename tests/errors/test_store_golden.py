@@ -1,0 +1,132 @@
+"""Golden-artifact tests of the model store and the pipeline cache keys.
+
+The committed fixtures under ``fixtures/`` pin the on-disk schema: a
+format change that silently alters or breaks old artifacts fails here
+first.  ``da_v1.json`` is a hand-written version-1 artifact (before the
+provenance block) and must keep loading; the ``*_v2.json`` files must
+survive a load -> save round trip byte-for-byte.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.circuit.liberty import VR15, VR20
+from repro.errors import store
+from repro.errors.da import DaModel
+from repro.errors.ia import IaModel
+from repro.errors.pipeline import cache_key
+from repro.errors.wa import WaModel
+from repro.fpu.formats import FpOp
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestGoldenArtifacts:
+    def test_da_v2_round_trips(self, tmp_path):
+        model = store.load_da(FIXTURES / "da_v2.json")
+        assert model.fixed_error_ratios == {"VR15": 0.001, "VR20": 0.0125}
+        assert model.injection_window == 512
+        assert model.provenance.benchmark == "is+mg"
+        assert model.provenance.seed == 7
+        assert model.provenance.points == ("VR15", "VR20")
+        assert model.provenance.describe() == (
+            "benchmark=is+mg, seed=7, samples=1000, points=VR15+VR20, "
+            "trace=abababababab")
+        saved = store.save_da(model, tmp_path / "again.json")
+        assert saved.read_text() == (FIXTURES / "da_v2.json").read_text()
+
+    def test_ia_v2_round_trips(self, tmp_path):
+        model = store.load_ia(FIXTURES / "ia_v2.json")
+        st20 = model.stats["VR20"][FpOp.ADD_S]
+        assert st20.error_ratio == 0.25
+        assert st20.sample_size == 64
+        assert st20.bit_probabilities[3] == 0.5
+        assert st20.bit_probabilities[30] == 0.25
+        assert model.stats["VR15"][FpOp.ADD_S].error_ratio == 0.0
+        assert model.provenance.benchmark is None
+        saved = store.save_ia(model, tmp_path / "again.json")
+        assert saved.read_text() == (FIXTURES / "ia_v2.json").read_text()
+
+    def test_wa_v2_round_trips(self, tmp_path):
+        model = store.load_wa(FIXTURES / "wa_v2.json")
+        assert model.workload == "toy"
+        assert model.burst_window == 8
+        assert model.faults["VR15"] == {}
+        tf = model.faults["VR20"][FpOp.MUL_S]
+        assert list(tf.indices) == [3, 11]
+        assert list(tf.bitmasks) == [0x5, 0x80000001]
+        assert tf.bitmasks.dtype == np.uint64
+        assert tf.analysed == 128
+        assert model.provenance.trace_digest == "cd" * 32
+        saved = store.save_wa(model, tmp_path / "again.json")
+        assert saved.read_text() == (FIXTURES / "wa_v2.json").read_text()
+
+    def test_v1_artifact_still_loads_without_provenance(self):
+        model = store.load_da(FIXTURES / "da_v1.json")
+        assert model.fixed_error_ratios == {"VR15": 0.001, "VR20": 0.01}
+        assert model.injection_window == 1024
+        assert model.provenance is None
+
+    @pytest.mark.parametrize("name,kind", [
+        ("da_v1.json", DaModel), ("da_v2.json", DaModel),
+        ("ia_v2.json", IaModel), ("wa_v2.json", WaModel),
+    ])
+    def test_load_any_dispatches(self, name, kind):
+        assert isinstance(store.load_any(FIXTURES / name), kind)
+
+    def test_future_format_version_rejected(self, tmp_path):
+        data = json.loads((FIXTURES / "da_v2.json").read_text())
+        data["format_version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="unsupported artifact format"):
+            store.load_da(path)
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="expected 'IA'"):
+            store.load_ia(FIXTURES / "da_v2.json")
+
+    def test_load_any_unknown_kind(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"format_version": 2, "model": "XX",
+                                    "payload": {}}))
+        with pytest.raises(ValueError, match="unknown model kind"):
+            store.load_any(path)
+
+
+class TestCacheKeySensitivity:
+    BASE = dict(points=[VR15, VR20], op_set=[FpOp.MUL_D], seed=3,
+                samples=1000, trace="00" * 32, burst_window=8)
+
+    def key(self, kind="IA", **overrides):
+        return cache_key(kind, **{**self.BASE, **overrides})
+
+    def test_deterministic(self):
+        assert self.key() == self.key()
+        assert len(self.key()) == 64
+        int(self.key(), 16)  # hex digest
+
+    @pytest.mark.parametrize("override", [
+        {"kind": "WA"},
+        {"points": [VR15]},
+        {"points": [VR20, VR15]},
+        {"op_set": [FpOp.SUB_D]},
+        {"op_set": [FpOp.MUL_D, FpOp.SUB_D]},
+        {"seed": 4},
+        {"samples": 1001},
+        {"trace": "01" * 32},
+        {"trace": None},
+        {"burst_window": 16},
+    ], ids=lambda o: next(iter(o)))
+    def test_every_component_participates(self, override):
+        kind = override.pop("kind", "IA")
+        assert self.key(kind=kind, **override) != self.key()
+
+    def test_format_version_bump_invalidates(self, monkeypatch):
+        base = self.key()
+        monkeypatch.setattr(store, "FORMAT_VERSION",
+                            store.FORMAT_VERSION + 1)
+        assert self.key() != base

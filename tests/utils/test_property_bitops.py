@@ -1,0 +1,131 @@
+"""Property-based tests of the bit-manipulation primitives.
+
+The vectorised helpers back the DTA hot path, so each one is checked
+against an independent scalar oracle (Python's arbitrary-precision ints)
+over hypothesis-generated operands, alongside the algebraic invariants
+(round-trips, involutions, bounds) the FPU layer relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    MASK64,
+    bit_length64,
+    bits_of,
+    carry_arrival_positions,
+    carry_chain_lengths,
+    count_ones,
+    extract_field,
+    from_bits,
+    longest_carry_chain,
+    popcount64,
+    reverse_bits,
+    set_bits,
+    trailing_zeros64,
+)
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+WIDTH = st.integers(min_value=1, max_value=64)
+U64_LISTS = st.lists(U64, min_size=1, max_size=32)
+
+
+@given(U64)
+def test_popcount_matches_python(value):
+    assert popcount64(value) == bin(value).count("1")
+
+
+@given(U64_LISTS)
+def test_count_ones_matches_scalar_oracle(values):
+    array = np.array(values, dtype=np.uint64)
+    counts = count_ones(array)
+    assert counts.dtype == np.int64
+    assert list(counts) == [popcount64(v) for v in values]
+    assert int(counts.max()) <= 64
+
+
+@given(U64_LISTS)
+def test_bit_length_matches_python(values):
+    array = np.array(values, dtype=np.uint64)
+    assert list(bit_length64(array)) == [v.bit_length() for v in values]
+
+
+@given(U64, st.integers(min_value=0, max_value=63),
+       st.integers(min_value=0, max_value=64), U64)
+def test_extract_set_round_trip(value, lo, width, field):
+    updated = set_bits(value, lo, width, field)
+    assert extract_field(updated, lo, width) == field & ((1 << width) - 1)
+    # Bits outside [lo, lo+width) are untouched.
+    mask = ((1 << width) - 1) << lo
+    assert updated & ~mask == value & ~mask
+
+
+@given(U64)
+def test_extract_field_rejects_negative_geometry(value):
+    with pytest.raises(ValueError):
+        extract_field(value, -1, 4)
+    with pytest.raises(ValueError):
+        extract_field(value, 4, -1)
+
+
+@given(U64, WIDTH)
+def test_reverse_bits_is_an_involution(value, width):
+    value &= (1 << width) - 1
+    reversed_once = reverse_bits(value, width)
+    assert reversed_once < (1 << width)
+    assert popcount64(reversed_once) == popcount64(value)
+    assert reverse_bits(reversed_once, width) == value
+
+
+@given(U64, WIDTH)
+def test_bits_round_trip(value, width):
+    bits = bits_of(value, width)
+    assert len(bits) == width
+    assert set(bits) <= {0, 1}
+    assert from_bits(bits) == value & ((1 << width) - 1)
+
+
+@given(U64_LISTS)
+def test_trailing_zeros_isolates_lowest_set_bit(values):
+    array = np.array(values, dtype=np.uint64)
+    zeros = trailing_zeros64(array)
+    for value, tz in zip(values, zeros):
+        tz = int(tz)
+        if value == 0:
+            assert tz == 64
+        else:
+            assert value % (1 << tz) == 0
+            assert (value >> tz) & 1 == 1
+
+
+@given(st.lists(st.tuples(U64, U64), min_size=1, max_size=16),
+       st.sampled_from([8, 17, 32, 64]))
+def test_carry_chains_match_scalar_oracle(pairs, width):
+    a = np.array([p[0] for p in pairs], dtype=np.uint64)
+    b = np.array([p[1] for p in pairs], dtype=np.uint64)
+    lengths = carry_chain_lengths(a, b, width)
+    expected = [longest_carry_chain(int(x), int(y), width)
+                for x, y in pairs]
+    assert list(lengths) == expected
+
+
+@given(st.lists(st.tuples(U64, U64), min_size=1, max_size=16), WIDTH)
+def test_carry_chain_invariants(pairs, width):
+    a = np.array([p[0] for p in pairs], dtype=np.uint64)
+    b = np.array([p[1] for p in pairs], dtype=np.uint64)
+    mask = (1 << width) - 1
+    lengths = carry_chain_lengths(a, b, width)
+    positions = carry_arrival_positions(a, b, width)
+    assert int(lengths.min()) >= 0
+    assert int(lengths.max()) <= width
+    assert int(positions.max(initial=0)) < width
+    for x, y, length, pos in zip(a, b, lengths, positions):
+        generates = int(x) & int(y) & mask
+        # A chain exists iff some position generates a carry, and every
+        # chain terminates at or above a generate position.
+        assert (length > 0) == (generates != 0)
+        if generates:
+            assert pos >= trailing_zeros64(
+                np.array([generates], dtype=np.uint64))[0]
