@@ -13,14 +13,26 @@ Times the paper's two phases with telemetry enabled:
 5. *characterize_warm*: the pipeline again on the warm cache (every
    model is a cache hit; measures the near-zero-cost rerun),
 6. *campaign*: a small injection campaign per benchmark through the
-   fault-tolerant executor.
+   fault-tolerant executor, full replay (snapshots off),
+7. *campaign_fastforward*: the identical campaign with the checkpointed
+   fast-forward engine on — same seeds, same cells, bit-identical
+   outcomes — measuring the snapshot restore + suffix-replay speedup.
+
+The campaign phases run at their own ``--campaign-scale`` (default
+``small``): guest execution has to dominate the per-run planning
+overhead (which is identical on both sides) for the fast-forward ratio
+to measure the engine rather than the scheduler, while the
+characterization phases stay at ``--scale`` where the DTA layer
+dominates.
 
 The emitted JSON carries per-phase wall times, per-layer
-(eventsim/dta/executor) timings pulled from the telemetry collector and
-a ``pipeline`` block (speedup, warm fraction, cache hit/miss counts), so
-`BENCH_campaign.json` accumulates a comparable perf trajectory across
-commits.  `--validate FILE` checks an existing file against the schema
-(used by the CI bench smoke job) and exits non-zero on violations.
+(eventsim/dta/executor) timings pulled from the telemetry collector, a
+``pipeline`` block (speedup, warm fraction, cache hit/miss counts) and a
+``fastforward`` block (campaign speedup, snapshot-store stats, restore /
+early-exit / skipped-op counters), so `BENCH_campaign.json` accumulates
+a comparable perf trajectory across commits.  `--validate FILE` checks
+an existing file against the schema (used by the CI bench smoke job)
+and exits non-zero on violations.
 """
 
 import argparse
@@ -37,6 +49,7 @@ from repro.campaign.executor import (                    # noqa: E402
     CampaignExecutor,
     ExecutorConfig,
 )
+from repro.campaign.fastforward import FastForwardConfig  # noqa: E402
 from repro.campaign.runner import CampaignRunner         # noqa: E402
 from repro.circuit.builder import build_adder, bus_values  # noqa: E402
 from repro.circuit.dta import DynamicTimingAnalysis      # noqa: E402
@@ -55,11 +68,13 @@ from repro.workloads import make_workload                # noqa: E402
 
 #: v2 splits golden runs out of the characterize phase and adds the
 #: characterize_parallel / characterize_warm phases plus the pipeline
-#: speedup block.
-SCHEMA_VERSION = 2
+#: speedup block.  v3 adds the campaign_fastforward phase (the same
+#: campaign through the snapshot/fast-forward engine) and the
+#: fastforward block.
+SCHEMA_VERSION = 3
 
 PHASES = ("golden", "characterize", "characterize_parallel",
-          "characterize_warm", "campaign")
+          "characterize_warm", "campaign", "campaign_fastforward")
 
 DEFAULT_BENCHMARKS = ("kmeans", "hotspot")
 
@@ -128,12 +143,17 @@ def bench_pipeline(args) -> dict:
 
     micro = bench_micro_dta(args.micro_vectors, args.seed)
 
+    # Full-replay reference runners: the golden and campaign phases keep
+    # their historical (snapshots-off) meaning.
     runners = {}
     profiles = {}
     for name in args.benchmarks:
         start = time.perf_counter()
         workload = make_workload(name, scale=args.scale, seed=args.seed)
-        runner = CampaignRunner(workload, seed=args.seed)
+        runner = CampaignRunner(
+            workload, seed=args.seed,
+            fastforward=FastForwardConfig(enabled=False),
+        )
         profiles[name] = runner.golden().profile
         runners[name] = runner
         phases["golden"]["per_benchmark"][name] = (
@@ -160,7 +180,18 @@ def bench_pipeline(args) -> dict:
         cache_stats = {"cold": cold.cache.stats(),
                        "warm": warm.cache.stats()}
 
-    for name, runner in runners.items():
+    # Campaign phases run at their own scale so guest execution (the
+    # part fast-forward accelerates) dominates the per-run planning
+    # overhead shared by both sides.  Golden builds happen outside the
+    # timed region on both sides.
+    for name in args.benchmarks:
+        workload = make_workload(name, scale=args.campaign_scale,
+                                 seed=args.seed)
+        runner = CampaignRunner(
+            workload, seed=args.seed,
+            fastforward=FastForwardConfig(enabled=False),
+        )
+        runner.golden()
         start = time.perf_counter()
         config = ExecutorConfig(workers=args.workers)
         with CampaignExecutor(runner, config=config) as executor:
@@ -171,6 +202,44 @@ def bench_pipeline(args) -> dict:
         )
     phases["campaign"]["wall_s"] = sum(
         phases["campaign"]["per_benchmark"].values()
+    )
+
+    # The identical campaign, fast-forwarded.  The snapshot-building
+    # golden run is timed separately (it is a once-per-campaign cost,
+    # symmetric with the reference runners' golden phase), so the phase
+    # itself measures restore + suffix replay per run.
+    ff_build_s = 0.0
+    ff_stores = []
+    ff_counters = {"restores": 0, "early_exits": 0,
+                   "ops_skipped": 0, "ops_replayed": 0}
+    for name in args.benchmarks:
+        workload = make_workload(name, scale=args.campaign_scale,
+                                 seed=args.seed)
+        runner = CampaignRunner(
+            workload, seed=args.seed,
+            fastforward=FastForwardConfig(interval=args.snapshot_interval),
+        )
+        start = time.perf_counter()
+        golden = runner.golden()
+        ff_build_s += time.perf_counter() - start
+        if golden.snapshots is not None:
+            ff_stores.append(golden.snapshots.stats())
+        start = time.perf_counter()
+        config = ExecutorConfig(workers=args.workers)
+        with CampaignExecutor(runner, config=config) as executor:
+            for point in points:
+                result = executor.run_cell(models[name], point,
+                                           runs=args.runs)
+                stats = result.stats
+                ff_counters["restores"] += stats.ff_restores
+                ff_counters["early_exits"] += stats.ff_early_exits
+                ff_counters["ops_skipped"] += stats.ff_ops_skipped
+                ff_counters["ops_replayed"] += stats.ff_ops_replayed
+        phases["campaign_fastforward"]["per_benchmark"][name] = (
+            time.perf_counter() - start
+        )
+    phases["campaign_fastforward"]["wall_s"] = sum(
+        phases["campaign_fastforward"]["per_benchmark"].values()
     )
 
     snapshot = telemetry.snapshot()
@@ -193,6 +262,17 @@ def bench_pipeline(args) -> dict:
             "cold": cache_stats["cold"],
             "warm": cache_stats["warm"],
         },
+    }
+
+    campaign_wall = phases["campaign"]["wall_s"]
+    ff_wall = phases["campaign_fastforward"]["wall_s"]
+    fastforward_block = {
+        "interval": (args.snapshot_interval
+                     if args.snapshot_interval is not None else "inf"),
+        "speedup": (campaign_wall / ff_wall) if ff_wall > 0 else None,
+        "golden_build_s": ff_build_s,
+        **ff_counters,
+        "stores": ff_stores,
     }
 
     counters = snapshot["counters"]
@@ -220,6 +300,7 @@ def bench_pipeline(args) -> dict:
         "schema_version": SCHEMA_VERSION,
         "config": {
             "scale": args.scale,
+            "campaign_scale": args.campaign_scale,
             "seed": args.seed,
             "runs": args.runs,
             "samples": args.samples,
@@ -228,10 +309,14 @@ def bench_pipeline(args) -> dict:
             "workers": args.workers,
             "pipeline_workers": args.pipeline_workers,
             "benchmarks": list(args.benchmarks),
+            "snapshot_interval": (args.snapshot_interval
+                                  if args.snapshot_interval is not None
+                                  else "inf"),
         },
         "micro_dta": micro,
         "phases": phases,
         "pipeline": pipeline_block,
+        "fastforward": fastforward_block,
         "layers": layers,
         "telemetry": snapshot,
     }
@@ -277,6 +362,16 @@ def validate(data) -> list:
     for key in ("hit", "miss", "invalid"):
         need(cache, key, int, "$.pipeline.cache")
 
+    fastforward = need(data, "fastforward", dict, "$") or {}
+    need(fastforward, "interval", (int, str), "$.fastforward")
+    ff_speedup = need(fastforward, "speedup", (int, float), "$.fastforward")
+    if ff_speedup is not None and ff_speedup <= 0:
+        problems.append("$.fastforward.speedup is not positive")
+    need(fastforward, "golden_build_s", (int, float), "$.fastforward")
+    for key in ("restores", "early_exits", "ops_skipped", "ops_replayed"):
+        need(fastforward, key, int, "$.fastforward")
+    need(fastforward, "stores", list, "$.fastforward")
+
     layers = need(data, "layers", dict, "$") or {}
     for layer in ("eventsim", "dta", "executor"):
         entry = need(layers, layer, dict, "$.layers") or {}
@@ -299,6 +394,11 @@ def main(argv=None) -> int:
         description="Benchmark the characterisation/campaign pipeline")
     parser.add_argument("--scale", default="tiny",
                         choices=["tiny", "small", "paper"])
+    parser.add_argument("--campaign-scale", default="small",
+                        choices=["tiny", "small", "paper"],
+                        help="workload scale for the campaign phases "
+                             "(larger than --scale so guest execution "
+                             "dominates per-run planning overhead)")
     parser.add_argument("--runs", type=int, default=24,
                         help="injection runs per campaign cell")
     parser.add_argument("--samples", type=int, default=4000,
@@ -312,6 +412,11 @@ def main(argv=None) -> int:
                         help="executor worker processes (0 = serial)")
     parser.add_argument("--pipeline-workers", type=int, default=4,
                         help="characterization pipeline worker processes")
+    parser.add_argument("--snapshot-interval", default="1",
+                        help="fast-forward snapshot spacing in step "
+                             "boundaries ('inf' = initial snapshot only; "
+                             "default 1 = every boundary, the densest "
+                             "and fastest configuration)")
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
                         help="comma-separated benchmark list")
@@ -334,6 +439,8 @@ def main(argv=None) -> int:
     args.benchmarks = tuple(
         part.strip() for part in args.benchmarks.split(",") if part.strip()
     )
+    args.snapshot_interval = (None if args.snapshot_interval == "inf"
+                              else int(args.snapshot_interval))
     data = bench_pipeline(args)
     problems = validate(data)
     if problems:  # pragma: no cover - self-check
@@ -358,6 +465,11 @@ def main(argv=None) -> int:
     print(f"  warm-cache fraction   : {pipe['warm_fraction']:.3f} "
           f"(cache: {pipe['cache']['hit']} hit / "
           f"{pipe['cache']['miss']} miss)")
+    ff = data["fastforward"]
+    print(f"  fast-forward speedup  : {ff['speedup']:.2f}x "
+          f"(interval={ff['interval']}, {ff['restores']} restores, "
+          f"{ff['early_exits']} early exits, "
+          f"{ff['ops_skipped']} ops skipped)")
     for layer in ("eventsim", "dta", "executor"):
         print(f"  [{layer}] {data['layers'][layer]['wall_s']:8.3f}s")
     return 0

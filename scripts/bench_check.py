@@ -18,6 +18,12 @@ reference by ``--pipeline-speedup-min`` and the warm-cache rerun must
 cost at most ``--warm-max-fraction`` of the serial phase (with a small
 absolute floor for noise).  Reports without the pipeline phases skip
 these gates.
+
+Schema v3 reports also gate the campaign fast-forward engine on the
+candidate alone: the campaign_fastforward phase (snapshot restore +
+suffix replay) must beat the full-replay campaign phase by
+``--fastforward-speedup-min``.  Reports without the phase skip the
+gate.
 """
 
 import argparse
@@ -140,6 +146,36 @@ def check_pipeline(candidate: dict, speedup_min: float,
     return problems, notes
 
 
+def check_fastforward(candidate: dict, speedup_min: float):
+    """Candidate-only fast-forward gate; ``(problems, notes)`` lists.
+
+    The campaign and campaign_fastforward phases run the same seeded
+    cells (bit-identical outcomes), so their wall-time ratio is a pure
+    engine speedup — gated on the candidate alone, like the pipeline.
+    """
+    problems = []
+    notes = []
+    phases = candidate.get("phases") or {}
+    full = (phases.get("campaign") or {}).get("wall_s")
+    fast = (phases.get("campaign_fastforward") or {}).get("wall_s")
+    if full is None or fast is None:
+        notes.append("fast-forward gate skipped: no campaign_fastforward "
+                     "phase in candidate")
+        return problems, notes
+    speedup = (candidate.get("fastforward") or {}).get("speedup")
+    if speedup is None:
+        speedup = full / fast if fast > 0 else float("inf")
+    if speedup < speedup_min:
+        problems.append(
+            f"campaign fast-forward speedup {speedup:.2f}x is below the "
+            f"{speedup_min:.2f}x gate (full replay {full:.3f}s vs "
+            f"fast-forward {fast:.3f}s)")
+    else:
+        notes.append(f"campaign fast-forward speedup {speedup:.2f}x "
+                     f"(gate: >= {speedup_min:.2f}x)")
+    return problems, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate a fresh pipeline benchmark against the "
@@ -163,6 +199,10 @@ def main(argv=None) -> int:
     parser.add_argument("--warm-floor-seconds", type=float, default=0.05,
                         help="absolute floor of the warm-cache budget "
                              "(noise guard for tiny benches)")
+    parser.add_argument("--fastforward-speedup-min", type=float,
+                        default=2.0,
+                        help="required campaign/campaign_fastforward "
+                             "speedup in the candidate (default 2.0)")
     args = parser.parse_args(argv)
 
     try:
@@ -187,6 +227,10 @@ def main(argv=None) -> int:
     pipeline_problems, pipeline_notes = check_pipeline(
         candidate, args.pipeline_speedup_min, args.warm_max_fraction,
         args.warm_floor_seconds)
+    ff_problems, ff_notes = check_fastforward(
+        candidate, args.fastforward_speedup_min)
+    pipeline_problems += ff_problems
+    pipeline_notes += ff_notes
     for note in pipeline_notes:
         print(f"bench_check: {note}")
     failed = False

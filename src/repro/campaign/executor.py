@@ -91,6 +91,11 @@ class CellStats:
     degraded: bool = False
     wall_time: float = 0.0
     workers: int = 0             # pool size used (0 = serial)
+    # Fast-forward accounting (zero when snapshots are off).
+    ff_restores: int = 0         # guest runs resumed from a snapshot
+    ff_early_exits: int = 0      # runs that reconverged to the golden tail
+    ff_ops_skipped: int = 0      # FP ops fast-forwarded past (prefixes)
+    ff_ops_replayed: int = 0     # FP ops actually executed in suffixes
 
 
 class _WorkerHandle:
@@ -213,6 +218,8 @@ def _worker_main(conn, runner: CampaignRunner, model: ErrorModel,
             }
             if execution.flight is not None:
                 message["flight"] = execution.flight
+            if execution.fastforward is not None:
+                message["fastforward"] = execution.fastforward
             if telemetry.enabled():
                 message["telemetry"] = telemetry.get_collector().drain()
             conn.send(message)
@@ -394,6 +401,18 @@ class CampaignExecutor:
                 attempt, error,
             )
 
+    @staticmethod
+    def _track_fastforward(stats: CellStats,
+                           info: Optional[dict]) -> None:
+        """Fold one run's restore/replay counters into the cell stats."""
+        if not info:
+            return
+        stats.ff_restores += 1
+        stats.ff_ops_skipped += int(info.get("ops_skipped", 0))
+        stats.ff_ops_replayed += int(info.get("ops_replayed", 0))
+        if "early_exit" in info:
+            stats.ff_early_exits += 1
+
     def _make_record(self, model: ErrorModel, point: OperatingPoint,
                      run_index: int, execution: RunExecution,
                      wall_ms: float, retries: int) -> RunRecord:
@@ -437,6 +456,7 @@ class CampaignExecutor:
                     break
                 if execution.watchdog:
                     stats.watchdog_kills += 1
+                self._track_fastforward(stats, execution.fastforward)
                 record = self._make_record(
                     model, point, run_index, execution,
                     wall_ms=(time.monotonic() - start) * 1000.0,
@@ -645,6 +665,7 @@ class CampaignExecutor:
                 )
                 if execution.watchdog:
                     stats.watchdog_kills += 1
+                self._track_fastforward(stats, message.get("fastforward"))
                 record = self._make_record(
                     model, point, run_index, execution,
                     wall_ms=message["wall_ms"],

@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
+from repro.campaign.fastforward import FastForwardConfig, SnapshotStore
 from repro.campaign.journal import run_key
 from repro.campaign.outcomes import Outcome, OutcomeCounts
 from repro.circuit.liberty import OperatingPoint
@@ -39,6 +40,7 @@ from repro.uarch.trace import MIXES, synthesize_trace
 from repro.utils.rng import RngStream
 from repro.workloads.base import (
     GuestCrash,
+    GuestFpException,
     GuestTimeout,
     Workload,
 )
@@ -108,6 +110,9 @@ class GoldenRun:
     masking: MaskingProfile
     op_budget: int
     fp_ops_executed: int
+    #: Fast-forward snapshot store; None when disabled or the workload
+    #: is not checkpointable (injection runs then replay in full).
+    snapshots: Optional[SnapshotStore] = None
 
 
 @dataclass
@@ -121,6 +126,7 @@ class RunExecution:
     unexpected: Optional[str] = None  # unlisted guest exception (repr)
     sdc_magnitude: Optional[float] = None  # rel. output error (SDC only)
     flight: Optional[dict] = None  # flight-record payload, recorder on
+    fastforward: Optional[dict] = None  # restore/replay counters, ff on
 
 
 @dataclass
@@ -153,11 +159,14 @@ class CampaignRunner:
     def __init__(self, workload: Workload,
                  core_params: Optional[CoreParams] = None,
                  seed: int = 2021,
-                 trace_cap: int = 1_000_000):
+                 trace_cap: int = 1_000_000,
+                 fastforward: Optional[FastForwardConfig] = None):
         self.workload = workload
         self.core = OoOCore(core_params or CoreParams())
         self.seed = seed
         self.trace_cap = trace_cap
+        self.fastforward = (FastForwardConfig() if fastforward is None
+                            else fastforward)
         self._golden: Optional[GoldenRun] = None
 
     # -- golden phase ---------------------------------------------------------------
@@ -172,7 +181,23 @@ class CampaignRunner:
         ctx = self.workload.make_context(
             record_trace=True, trace_cap=self.trace_cap
         )
-        output = self.workload.run(ctx)
+        snapshots: Optional[SnapshotStore] = None
+        if self.fastforward.enabled and self.workload.checkpointable:
+            snapshots = SnapshotStore(self.workload.name,
+                                      interval=self.fastforward.interval)
+            try:
+                output = snapshots.build(self.workload, ctx)
+            except GuestFpException:
+                # The armed trap probe fired: the golden stream contains
+                # non-finite values, so the early exit is unsound.
+                # Rebuild cleanly on a fresh context with the probe off.
+                ctx = self.workload.make_context(
+                    record_trace=True, trace_cap=self.trace_cap
+                )
+                output = snapshots.build(self.workload, ctx,
+                                         trap_probe=False)
+        else:
+            output = self.workload.run(ctx)
         profile = ctx.profile(self.workload.name, self.workload.ops_per_fp)
 
         mix = MIXES.get(self.workload.mix_name, MIXES["default"])
@@ -194,6 +219,7 @@ class CampaignRunner:
             masking=masking,
             op_budget=2 * ctx.ops_executed,
             fp_ops_executed=ctx.ops_executed,
+            snapshots=snapshots,
         )
         return self._golden
 
@@ -264,6 +290,8 @@ class CampaignRunner:
                 capture["watchdog"] = True
             if execution.unexpected is not None:
                 capture["unexpected"] = execution.unexpected
+            if execution.fastforward is not None:
+                capture["fastforward"] = execution.fastforward
             execution.flight = capture
         return execution
 
@@ -285,23 +313,35 @@ class CampaignRunner:
         ctx = self.workload.make_context(
             corruption=corruption, op_budget=golden.op_budget
         )
+        snapshots = golden.snapshots
+        # Filled in place by run_injection, so restore/skip counters
+        # survive a guest exception mid-suffix.
+        ff_info: Optional[dict] = {} if snapshots is not None else None
+        if snapshots is None:
+            telemetry.count("campaign.ff.full_replays")
         try:
             with guest_watchdog(wall_clock_timeout):
-                observed = self.workload.run(ctx)
+                if snapshots is not None:
+                    observed = snapshots.run_injection(
+                        self.workload, ctx, corruption, info=ff_info)
+                else:
+                    observed = self.workload.run(ctx)
         except GuestTimeout:
-            return RunExecution(Outcome.TIMEOUT)
+            return RunExecution(Outcome.TIMEOUT, fastforward=ff_info)
         except WatchdogTimeout:
-            return RunExecution(Outcome.TIMEOUT, watchdog=True)
+            return RunExecution(Outcome.TIMEOUT, watchdog=True,
+                                fastforward=ff_info)
         except CRASH_EXCEPTIONS:
-            return RunExecution(Outcome.CRASH)
+            return RunExecution(Outcome.CRASH, fastforward=ff_info)
         except Exception as exc:
             return RunExecution(
                 Outcome.CRASH,
                 unexpected=f"{type(exc).__name__}: {exc}",
+                fastforward=ff_info,
             )
         if self.workload.outputs_equal(golden.output, observed):
-            return RunExecution(Outcome.MASKED)
-        execution = RunExecution(Outcome.SDC)
+            return RunExecution(Outcome.MASKED, fastforward=ff_info)
+        execution = RunExecution(Outcome.SDC, fastforward=ff_info)
         if flight.enabled():
             # Observational only — measured solely when recording, so
             # recorder-off campaigns pay nothing for it.

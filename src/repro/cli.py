@@ -25,6 +25,7 @@ from pathlib import Path
 
 from repro import telemetry
 from repro.campaign.executor import CampaignExecutor, ExecutorConfig
+from repro.campaign.fastforward import DEFAULT_INTERVAL, FastForwardConfig
 from repro.campaign.report import executor_stats_table, outcome_table
 from repro.campaign.runner import CampaignRunner
 from repro.circuit.liberty import TECHNOLOGY, VR15, VR20
@@ -151,9 +152,23 @@ def _cmd_campaign(args) -> int:
     points = _points_for(args.vr)
     workload = make_workload(args.benchmark, scale=args.scale,
                              seed=args.seed)
-    runner = CampaignRunner(workload, seed=args.seed)
+    if args.snapshot_interval == "inf":
+        interval = None
+    else:
+        try:
+            interval = int(args.snapshot_interval)
+        except ValueError:
+            raise SystemExit(
+                f"error: --snapshot-interval {args.snapshot_interval!r}: "
+                f"expected a positive integer or 'inf'"
+            )
+    fastforward = FastForwardConfig(enabled=args.fast_forward,
+                                    interval=interval)
+    runner = CampaignRunner(workload, seed=args.seed,
+                            fastforward=fastforward)
     try:
-        profile = runner.golden().profile
+        golden = runner.golden()
+        profile = golden.profile
         if args.model_file:
             model = store.load_any(args.model_file)
         else:
@@ -184,6 +199,22 @@ def _cmd_campaign(args) -> int:
     print(outcome_table(results))
     print()
     print(executor_stats_table(results))
+    if golden.snapshots is not None:
+        stats = golden.snapshots.stats()
+        restores = sum(r.stats.ff_restores for r in results)
+        exits = sum(r.stats.ff_early_exits for r in results)
+        skipped = sum(r.stats.ff_ops_skipped for r in results)
+        print()
+        print(f"fast-forward: {stats['snapshots']} snapshot(s) over "
+              f"{stats['boundaries']} boundaries (interval "
+              f"{stats['interval']}), {stats['stored_bytes']} bytes "
+              f"stored ({stats['dedup_saved_bytes']} deduplicated); "
+              f"{restores} restore(s), {exits} early exit(s), "
+              f"{skipped} ops skipped")
+    elif args.fast_forward and workload.checkpointable is False:
+        print()
+        print(f"fast-forward: {workload.name} is not checkpointable; "
+              f"runs used full replay")
     if args.telemetry:
         from repro.telemetry import summary_table
 
@@ -322,6 +353,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--monitor", action="store_true",
                    help="live terminal status: progress, outcome tallies, "
                         "AVM with 95%% CI, worker health, ETA")
+    ff = p.add_mutually_exclusive_group()
+    ff.add_argument("--fast-forward", dest="fast_forward",
+                    action="store_true", default=True,
+                    help="restore golden-run snapshots and replay only "
+                         "the post-injection suffix (default; bit-"
+                         "identical to full replay)")
+    ff.add_argument("--no-snapshots", dest="fast_forward",
+                    action="store_false",
+                    help="full replay for every run — the reference "
+                         "semantics; required when the workload is "
+                         "modified mid-campaign or when auditing the "
+                         "fast-forward engine itself")
+    p.add_argument("--snapshot-interval", default=str(DEFAULT_INTERVAL),
+                   help="snapshot spacing in step boundaries, or 'inf' "
+                        "for the initial snapshot only "
+                        f"(default {DEFAULT_INTERVAL})")
 
     p = sub.add_parser("trace", help="query a recorded telemetry trace")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.campaign.executor import CampaignExecutor, ExecutorConfig
+from repro.campaign.fastforward import FastForwardConfig
 from repro.campaign.journal import RunJournal
 from repro.campaign.runner import CampaignResult, CampaignRunner
 from repro.circuit.liberty import OperatingPoint, VR15, VR20
@@ -108,6 +109,7 @@ class ExperimentContext:
                workers: Optional[int] = None,
                chunk: Optional[int] = None,
                cache_dir: Optional[Union[str, Path]] = None,
+               fastforward: Optional[FastForwardConfig] = None,
                ) -> "ExperimentContext":
         """Model-development phase over the chosen benchmarks.
 
@@ -115,7 +117,10 @@ class ExperimentContext:
         ``cache_dir``, which build one) to route all three
         characterisations through the parallel, cache-aware engine;
         the WA models stay bit-identical to the serial path, and cached
-        artifacts make repeat builds near-free.
+        artifacts make repeat builds near-free.  ``fastforward``
+        configures the campaign runners' snapshot engine (``None`` keeps
+        the default-on configuration; pass
+        ``FastForwardConfig(enabled=False)`` for full replay).
         """
         points = list(points) if points else [VR15, VR20]
         fpu = FPU()
@@ -126,7 +131,8 @@ class ExperimentContext:
         wa: Dict[str, WaModel] = {}
         for name in benchmarks:
             workload = make_workload(name, scale=scale, seed=seed)
-            runner = CampaignRunner(workload, seed=seed)
+            runner = CampaignRunner(workload, seed=seed,
+                                    fastforward=fastforward)
             golden = runner.golden()
             runners[name] = runner
             profiles[name] = golden.profile

@@ -266,23 +266,42 @@ class FunctionalCore:
         self.memory = [0] * memory_words
         self.fp_dyn_count = 0
         self.instructions_executed = 0
+        self.pc = 0
+        self.halted = False
 
     def run(self, program: Sequence[Instruction],
             inject: Optional[Dict[int, int]] = None,
-            max_steps: int = 1_000_000) -> int:
-        """Execute until 'halt'; returns executed instruction count."""
+            max_steps: int = 1_000_000,
+            step_limit: Optional[int] = None,
+            resume: bool = False) -> int:
+        """Execute until 'halt'; returns executed instruction count.
+
+        ``step_limit`` stops after that many instructions with the
+        architectural state (``pc``, registers, memory, ``fp_dyn_count``)
+        intact; ``resume=True`` continues from the current state instead
+        of restarting at instruction 0 — together they let a caller (or
+        a restored :mod:`repro.uarch.snapshot` checkpoint) split one
+        execution into prefix + suffix that is bit-identical to the
+        unsplit run.
+        """
         inject = inject or {}
-        pc = 0
+        if not resume:
+            self.pc = 0
+            self.halted = False
         steps = 0
-        while 0 <= pc < len(program):
+        while not self.halted and 0 <= self.pc < len(program):
             if steps >= max_steps:
                 raise TimeoutError("functional core exceeded step budget")
-            instr = program[pc]
+            if step_limit is not None and steps >= step_limit:
+                break
+            instr = program[self.pc]
             steps += 1
             self.instructions_executed += 1
-            pc = self._step(instr, pc, inject)
-            if pc is None:
+            next_pc = self._step(instr, self.pc, inject)
+            if next_pc is None:
+                self.halted = True
                 break
+            self.pc = next_pc
         return steps
 
     def _step(self, instr: Instruction, pc: int,

@@ -244,6 +244,23 @@ class FPContext:
         result = bits.view(np.int64)
         return int(result[0]) if scalar else result.reshape(shaped.shape)
 
+    # -- checkpoint position ----------------------------------------------------------
+    def checkpoint_position(self) -> Tuple[Dict[FpOp, int], int]:
+        """The RNG-independent stream position: per-op counters + total.
+
+        This pair fully determines where corruption indices land and when
+        the op budget expires, so restoring it (plus the workload state)
+        resumes an execution bit-identically.
+        """
+        return ({op: n for op, n in self.counters.items() if n},
+                self.ops_executed)
+
+    def restore_position(self, counters: Dict[FpOp, int],
+                         ops_executed: int) -> None:
+        """Fast-forward this context to a recorded stream position."""
+        self.counters = {op: int(counters.get(op, 0)) for op in FpOp}
+        self.ops_executed = int(ops_executed)
+
     # -- profile extraction ---------------------------------------------------------
     def profile(self, name: str, ops_per_fp: float) -> WorkloadProfile:
         """Summarise the run into a :class:`WorkloadProfile` (golden runs)."""
@@ -309,6 +326,35 @@ class Workload(abc.ABC):
     @abc.abstractmethod
     def outputs_equal(self, golden, observed) -> bool:
         """Table II classification: does the output verify against golden?"""
+
+    # -- checkpointable step protocol ---------------------------------------------
+    #: Whether this workload implements the step protocol below.  Workloads
+    #: that keep a monolithic :meth:`run` stay non-checkpointable and
+    #: campaigns transparently fall back to full replay for them.
+    checkpointable: bool = False
+
+    def initial_state(self) -> Dict[str, object]:
+        """Fresh mutable state dict for :meth:`advance` (no FP ops)."""
+        raise NotImplementedError(f"{self.name} is not checkpointable")
+
+    def advance(self, ctx: FPContext, state: Dict[str, object]) -> bool:
+        """Execute one outer step, mutating ``state``; True while more remain.
+
+        The concatenated FP-op stream of ``initial_state`` + ``advance``
+        calls + ``finalize`` must be identical to :meth:`run`'s — that
+        equivalence is what makes snapshots at step boundaries sound.
+        """
+        raise NotImplementedError(f"{self.name} is not checkpointable")
+
+    def finalize(self, ctx: FPContext, state: Dict[str, object]):
+        """Produce the final output from a fully-advanced ``state``."""
+        raise NotImplementedError(f"{self.name} is not checkpointable")
+
+    def run_from(self, ctx: FPContext, state: Dict[str, object]):
+        """Drive the step protocol from ``state`` to the final output."""
+        while self.advance(ctx, state):
+            pass
+        return self.finalize(ctx, state)
 
     def sdc_magnitude(self, golden, observed) -> Optional[float]:
         """How wrong an SDC output is: relative L2 error vs golden.

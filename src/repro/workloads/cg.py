@@ -82,21 +82,37 @@ class ConjugateGradient(Workload):
             rho = rho_new
         return z
 
-    def run(self, ctx: FPContext) -> float:
-        x = self.b / np.linalg.norm(self.b)
-        zeta = 0.0
+    checkpointable = True
+
+    def initial_state(self):
+        return {
+            "x": self.b / np.linalg.norm(self.b),
+            "zeta": 0.0,
+            "iteration": 0,
+        }
+
+    def advance(self, ctx: FPContext, state) -> bool:
+        if state["iteration"] >= self.outer:
+            return False
         shift = 10.0
-        for _ in range(self.outer):
-            z = self._cg_solve(ctx, x)
-            xz = ctx.dot(x, z)
-            if xz == 0.0 or not np.isfinite(xz):
-                raise GuestCrash("CG verification product degenerate")
-            zeta = shift + float(ctx.div(1.0, xz))
-            norm = ctx.dot(z, z)
-            if norm <= 0.0 or not np.isfinite(norm):
-                raise GuestCrash("CG normalisation degenerate")
-            x = z / np.sqrt(norm)
-        return zeta
+        x = state["x"]
+        z = self._cg_solve(ctx, x)
+        xz = ctx.dot(x, z)
+        if xz == 0.0 or not np.isfinite(xz):
+            raise GuestCrash("CG verification product degenerate")
+        state["zeta"] = shift + float(ctx.div(1.0, xz))
+        norm = ctx.dot(z, z)
+        if norm <= 0.0 or not np.isfinite(norm):
+            raise GuestCrash("CG normalisation degenerate")
+        state["x"] = z / np.sqrt(norm)
+        state["iteration"] += 1
+        return state["iteration"] < self.outer
+
+    def finalize(self, ctx: FPContext, state) -> float:
+        return state["zeta"]
+
+    def run(self, ctx: FPContext) -> float:
+        return self.run_from(ctx, self.initial_state())
 
     def outputs_equal(self, golden, observed) -> bool:
         if not np.isfinite(observed):

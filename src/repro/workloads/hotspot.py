@@ -39,33 +39,46 @@ class Hotspot(Workload):
         self.t0 = np.full((n, n), _AMBIENT)
         self.input_descriptor = f"{n} x {n} x {self.steps} steps"
 
-    def run(self, ctx: FPContext) -> np.ndarray:
-        temp = self.t0.copy()
+    checkpointable = True
+
+    def initial_state(self):
+        return {"temp": self.t0.copy(), "step": 0}
+
+    def advance(self, ctx: FPContext, state) -> bool:
+        if state["step"] >= self.steps:
+            return False
+        temp = state["temp"]
         # Conductance/capacitance constants of the synthetic floorplan
         # (power-of-two values, as in tuned fixed-grid stencil builds —
         # their single-partial-product multiplies excite no long paths).
         r_x, r_y, r_z = 0.125, 0.125, 0.03125
         cap = 0.5
-        for _ in range(self.steps):
-            north = np.vstack([temp[:1], temp[:-1]])
-            south = np.vstack([temp[1:], temp[-1:]])
-            west = np.hstack([temp[:, :1], temp[:, :-1]])
-            east = np.hstack([temp[:, 1:], temp[:, -1:]])
+        north = np.vstack([temp[:1], temp[:-1]])
+        south = np.vstack([temp[1:], temp[-1:]])
+        west = np.hstack([temp[:, :1], temp[:, :-1]])
+        east = np.hstack([temp[:, 1:], temp[:, -1:]])
 
-            horizontal = ctx.mul(
-                ctx.sub(ctx.add(east, west), ctx.mul(temp, 2.0)), r_x
-            )
-            vertical = ctx.mul(
-                ctx.sub(ctx.add(north, south), ctx.mul(temp, 2.0)), r_y
-            )
-            ambient = ctx.mul(ctx.sub(_AMBIENT, temp), r_z)
-            delta = ctx.mul(
-                ctx.add(ctx.add(self.power, horizontal),
-                        ctx.add(vertical, ambient)),
-                cap,
-            )
-            temp = ctx.add(temp, delta)
-        return temp
+        horizontal = ctx.mul(
+            ctx.sub(ctx.add(east, west), ctx.mul(temp, 2.0)), r_x
+        )
+        vertical = ctx.mul(
+            ctx.sub(ctx.add(north, south), ctx.mul(temp, 2.0)), r_y
+        )
+        ambient = ctx.mul(ctx.sub(_AMBIENT, temp), r_z)
+        delta = ctx.mul(
+            ctx.add(ctx.add(self.power, horizontal),
+                    ctx.add(vertical, ambient)),
+            cap,
+        )
+        state["temp"] = ctx.add(temp, delta)
+        state["step"] += 1
+        return state["step"] < self.steps
+
+    def finalize(self, ctx: FPContext, state) -> np.ndarray:
+        return state["temp"]
+
+    def run(self, ctx: FPContext) -> np.ndarray:
+        return self.run_from(ctx, self.initial_state())
 
     def outputs_equal(self, golden, observed) -> bool:
         return (golden.shape == observed.shape

@@ -50,29 +50,41 @@ class KMeans(Workload):
             acc = ctx.add(acc, squares[:, :, d])
         return acc
 
-    def run(self, ctx: FPContext):
+    checkpointable = True
+
+    def initial_state(self):
         # Deterministic spread initialisation (stride through the input),
         # as Rodinia's sequential version effectively does on its inputs.
         stride = max(1, self.n_points // self.n_clusters)
-        centroids = self.points[::stride][: self.n_clusters].copy()
-        assignment = np.full(self.n_points, -1, dtype=np.int64)
-        while True:  # until stable; the 2x op budget bounds livelock
-            distances = self._distances(ctx, centroids)
-            new_assignment = np.argmin(distances, axis=1)
-            if np.array_equal(new_assignment, assignment):
-                break
-            assignment = new_assignment
-            # Recompute centroids through FPU adds and divides.
-            for c in range(self.n_clusters):
-                members = self.points[assignment == c]
-                if members.size == 0:
-                    continue
-                sums = np.array([ctx.sum(members[:, d])
-                                 for d in range(self.dims)])
-                centroids[c] = ctx.div(sums, float(members.shape[0]))
+        return {
+            "centroids": self.points[::stride][: self.n_clusters].copy(),
+            "assignment": np.full(self.n_points, -1, dtype=np.int64),
+        }
+
+    def advance(self, ctx: FPContext, state) -> bool:
+        # One Lloyd iteration; the 2x op budget bounds livelock.
+        distances = self._distances(ctx, state["centroids"])
+        new_assignment = np.argmin(distances, axis=1)
+        if np.array_equal(new_assignment, state["assignment"]):
+            return False
+        state["assignment"] = new_assignment
+        # Recompute centroids through FPU adds and divides.
+        for c in range(self.n_clusters):
+            members = self.points[state["assignment"] == c]
+            if members.size == 0:
+                continue
+            sums = np.array([ctx.sum(members[:, d])
+                             for d in range(self.dims)])
+            state["centroids"][c] = ctx.div(sums, float(members.shape[0]))
+        return True
+
+    def finalize(self, ctx: FPContext, state):
         # Rodinia prints the cluster centres with fixed precision; the
         # clustering criterion compares that printed output.
-        return np.round(centroids, 4)
+        return np.round(state["centroids"], 4)
+
+    def run(self, ctx: FPContext):
+        return self.run_from(ctx, self.initial_state())
 
     def outputs_equal(self, golden, observed) -> bool:
         return (golden.shape == observed.shape

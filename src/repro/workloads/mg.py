@@ -85,15 +85,27 @@ class MultiGrid(Workload):
         u = ctx.add(u, self._prolong(ctx, coarse_u))
         return self._smooth(ctx, u, rhs)
 
-    def run(self, ctx: FPContext) -> float:
-        u = np.zeros_like(self.v)
-        for _ in range(self.cycles):
-            u = self._vcycle(ctx, u, self.v)
-        residual = self._residual(ctx, u, self.v)
+    checkpointable = True
+
+    def initial_state(self):
+        return {"u": np.zeros_like(self.v), "cycle": 0}
+
+    def advance(self, ctx: FPContext, state) -> bool:
+        if state["cycle"] >= self.cycles:
+            return False
+        state["u"] = self._vcycle(ctx, state["u"], self.v)
+        state["cycle"] += 1
+        return state["cycle"] < self.cycles
+
+    def finalize(self, ctx: FPContext, state) -> float:
+        residual = self._residual(ctx, state["u"], self.v)
         norm_sq = ctx.sum(ctx.mul(residual, residual))
         if not np.isfinite(norm_sq) or norm_sq < 0.0:
             raise GuestCrash("MG verification norm degenerate")
         return float(norm_sq)
+
+    def run(self, ctx: FPContext) -> float:
+        return self.run_from(ctx, self.initial_state())
 
     def outputs_equal(self, golden, observed) -> bool:
         if not np.isfinite(observed):

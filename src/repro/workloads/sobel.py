@@ -48,14 +48,29 @@ class Sobel(Workload):
                 first = False
         return acc
 
-    def run(self, ctx: FPContext) -> np.ndarray:
-        gx = self._convolve(ctx, _GX)
-        gy = self._convolve(ctx, _GY)
+    checkpointable = True
+
+    def initial_state(self):
+        return {"step": 0, "gx": None, "gy": None}
+
+    def advance(self, ctx: FPContext, state) -> bool:
+        if state["step"] == 0:
+            state["gx"] = self._convolve(ctx, _GX)
+            state["step"] = 1
+            return True
+        state["gy"] = self._convolve(ctx, _GY)
+        state["step"] = 2
+        return False
+
+    def finalize(self, ctx: FPContext, state) -> np.ndarray:
         # |gx| + |gy| via FPU subtract-select (abs is sign-bit only, free).
-        magnitude = ctx.add(np.abs(gx), np.abs(gy))
+        magnitude = ctx.add(np.abs(state["gx"]), np.abs(state["gy"]))
         # Clamp to 8-bit output through the FPU's f2i path.
         pixels = ctx.f2i(magnitude)
         return np.clip(pixels, 0, 255).astype(np.uint8)
+
+    def run(self, ctx: FPContext) -> np.ndarray:
+        return self.run_from(ctx, self.initial_state())
 
     def outputs_equal(self, golden, observed) -> bool:
         return (golden.shape == observed.shape

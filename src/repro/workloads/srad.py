@@ -39,52 +39,65 @@ class Srad(Workload):
             f"{height} x {width}, {self.iterations} iter, lambda={self.lam}"
         )
 
+    checkpointable = True
+
+    def initial_state(self):
+        return {"j": self.image.copy(), "iteration": 0}
+
+    def advance(self, ctx: FPContext, state) -> bool:
+        if state["iteration"] >= self.iterations:
+            return False
+        j = state["j"]
+        # Mean and variance of the whole frame (q0 estimation).
+        total = ctx.sum(j)
+        n_pix = float(j.size)
+        mean = ctx.div(total, n_pix)
+        centred = ctx.sub(j, mean)
+        var = ctx.div(ctx.sum(ctx.mul(centred, centred)), n_pix)
+        q0_sq = ctx.div(var, ctx.mul(mean, mean))
+
+        north = np.roll(j, 1, axis=0)
+        south = np.roll(j, -1, axis=0)
+        west = np.roll(j, 1, axis=1)
+        east = np.roll(j, -1, axis=1)
+
+        d_n = ctx.sub(north, j)
+        d_s = ctx.sub(south, j)
+        d_w = ctx.sub(west, j)
+        d_e = ctx.sub(east, j)
+
+        g_sq = ctx.div(
+            ctx.add(ctx.add(ctx.mul(d_n, d_n), ctx.mul(d_s, d_s)),
+                    ctx.add(ctx.mul(d_w, d_w), ctx.mul(d_e, d_e))),
+            ctx.mul(j, j),
+        )
+        lap = ctx.div(ctx.add(ctx.add(d_n, d_s), ctx.add(d_w, d_e)), j)
+
+        num = ctx.sub(ctx.mul(g_sq, 0.5),
+                      ctx.mul(ctx.mul(lap, lap), 1.0 / 16.0))
+        den_term = ctx.add(ctx.mul(lap, 0.25), 1.0)
+        q_sq = ctx.div(num, ctx.mul(den_term, den_term))
+
+        c_den = ctx.div(ctx.sub(q_sq, q0_sq),
+                        ctx.mul(q0_sq, ctx.add(q0_sq, 1.0)))
+        c = ctx.div(1.0, ctx.add(c_den, 1.0))
+        c = np.clip(c, 0.0, 1.0)
+
+        c_s = np.roll(c, -1, axis=0)
+        c_e = np.roll(c, -1, axis=1)
+        divergence = ctx.add(
+            ctx.add(ctx.mul(c_s, d_s), ctx.mul(c, d_n)),
+            ctx.add(ctx.mul(c_e, d_e), ctx.mul(c, d_w)),
+        )
+        state["j"] = ctx.add(j, ctx.mul(divergence, self.lam * 0.25))
+        state["iteration"] += 1
+        return state["iteration"] < self.iterations
+
+    def finalize(self, ctx: FPContext, state) -> np.ndarray:
+        return state["j"]
+
     def run(self, ctx: FPContext) -> np.ndarray:
-        j = self.image.copy()
-        for _ in range(self.iterations):
-            # Mean and variance of the whole frame (q0 estimation).
-            total = ctx.sum(j)
-            n_pix = float(j.size)
-            mean = ctx.div(total, n_pix)
-            centred = ctx.sub(j, mean)
-            var = ctx.div(ctx.sum(ctx.mul(centred, centred)), n_pix)
-            q0_sq = ctx.div(var, ctx.mul(mean, mean))
-
-            north = np.roll(j, 1, axis=0)
-            south = np.roll(j, -1, axis=0)
-            west = np.roll(j, 1, axis=1)
-            east = np.roll(j, -1, axis=1)
-
-            d_n = ctx.sub(north, j)
-            d_s = ctx.sub(south, j)
-            d_w = ctx.sub(west, j)
-            d_e = ctx.sub(east, j)
-
-            g_sq = ctx.div(
-                ctx.add(ctx.add(ctx.mul(d_n, d_n), ctx.mul(d_s, d_s)),
-                        ctx.add(ctx.mul(d_w, d_w), ctx.mul(d_e, d_e))),
-                ctx.mul(j, j),
-            )
-            lap = ctx.div(ctx.add(ctx.add(d_n, d_s), ctx.add(d_w, d_e)), j)
-
-            num = ctx.sub(ctx.mul(g_sq, 0.5),
-                          ctx.mul(ctx.mul(lap, lap), 1.0 / 16.0))
-            den_term = ctx.add(ctx.mul(lap, 0.25), 1.0)
-            q_sq = ctx.div(num, ctx.mul(den_term, den_term))
-
-            c_den = ctx.div(ctx.sub(q_sq, q0_sq),
-                            ctx.mul(q0_sq, ctx.add(q0_sq, 1.0)))
-            c = ctx.div(1.0, ctx.add(c_den, 1.0))
-            c = np.clip(c, 0.0, 1.0)
-
-            c_s = np.roll(c, -1, axis=0)
-            c_e = np.roll(c, -1, axis=1)
-            divergence = ctx.add(
-                ctx.add(ctx.mul(c_s, d_s), ctx.mul(c, d_n)),
-                ctx.add(ctx.mul(c_e, d_e), ctx.mul(c, d_w)),
-            )
-            j = ctx.add(j, ctx.mul(divergence, self.lam * 0.25))
-        return j
+        return self.run_from(ctx, self.initial_state())
 
     def outputs_equal(self, golden, observed) -> bool:
         return (golden.shape == observed.shape

@@ -1,5 +1,6 @@
 """Tests for outcome classification, AVM, and the energy analysis."""
 
+import numpy as np
 import pytest
 
 from repro.campaign.avm import (
@@ -9,8 +10,10 @@ from repro.campaign.avm import (
     error_ratio_divergence,
 )
 from repro.campaign.outcomes import Outcome, OutcomeCounts
-from repro.campaign.runner import CampaignResult
+from repro.campaign.runner import CampaignResult, CampaignRunner
 from repro.circuit.liberty import NOMINAL, TECHNOLOGY, VR15, VR20
+from repro.fpu.formats import FpOp
+from repro.workloads.base import Workload
 
 
 def _counts(masked=0, sdc=0, crash=0, timeout=0):
@@ -136,3 +139,94 @@ class TestEnergyAnalysis:
         energy = EnergyAnalysis()
         saving = energy.mitigation_energy_saving(VR15, error_ratio=1e-3)
         assert 0.15 < saving < 0.35
+
+
+class _MutantWorkload(Workload):
+    """Guest with an injectable defect mode, for classification tests.
+
+    The golden run is clean; a corrupted run (non-empty ``corruption``
+    on the context) exhibits exactly one canonical failure shape.  The
+    corruption map used by the tests points past the dynamic op stream,
+    so no bit actually flips — the observed outcome is produced purely
+    by the defect mode, which isolates the classification boundary.
+    """
+
+    name = "mutant"
+    checkpointable = False
+
+    def __init__(self, mode="clean"):
+        self.mode = mode
+        super().__init__(scale="tiny", seed=3)
+
+    def _build_input(self):
+        self.data = np.linspace(1.0, 2.0, 64)
+
+    def run(self, ctx):
+        out = ctx.add(self.data, self.data)
+        if not ctx.corruption:
+            return out
+        if self.mode == "off_by_one":
+            mutated = out.copy()
+            mutated[-1] += 1.0
+            return mutated
+        if self.mode == "nan":
+            mutated = out.copy()
+            mutated[0] = np.nan
+            return mutated
+        if self.mode == "truncated":
+            # A deranged index terminates the guest mid-run.
+            return out[np.arange(len(out) + 1)]
+        if self.mode == "hung":
+            while True:  # charges ops until the budget trips
+                out = ctx.add(out, self.data)
+        return out
+
+    def outputs_equal(self, golden, observed):
+        return bool(np.array_equal(golden, observed))
+
+
+class TestClassificationMutations:
+    """Mutation-style probes of the run_guest classification boundary:
+    each canonical guest failure shape must land in its Table II bucket.
+    """
+
+    #: Past the op stream: arms the defect mode without flipping bits.
+    CORRUPTION = {FpOp.ADD_D: {10**9: 1}}
+
+    def _classify(self, mode):
+        runner = CampaignRunner(_MutantWorkload(mode), seed=7)
+        return runner.run_guest(self.CORRUPTION)
+
+    def test_clean_guest_is_masked(self):
+        assert self._classify("clean").outcome is Outcome.MASKED
+
+    def test_off_by_one_output_is_sdc(self):
+        execution = self._classify("off_by_one")
+        assert execution.outcome is Outcome.SDC
+        assert execution.unexpected is None
+
+    def test_nan_output_is_sdc(self):
+        execution = self._classify("nan")
+        assert execution.outcome is Outcome.SDC
+        assert execution.unexpected is None
+
+    def test_truncated_guest_is_crash(self):
+        execution = self._classify("truncated")
+        assert execution.outcome is Outcome.CRASH
+        assert execution.unexpected is None  # IndexError is a listed crash
+
+    def test_hung_guest_is_timeout(self):
+        execution = self._classify("hung")
+        assert execution.outcome is Outcome.TIMEOUT
+        assert not execution.watchdog  # the FP-op budget fired, not SIGALRM
+
+    def test_nan_sdc_magnitude_is_infinite_when_recorded(self):
+        from repro.observe import flight
+
+        flight.enable(None, keep_in_memory=False)
+        try:
+            execution = self._classify("nan")
+        finally:
+            flight.disable()
+        assert execution.outcome is Outcome.SDC
+        assert execution.sdc_magnitude == float("inf")
