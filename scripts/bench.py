@@ -14,7 +14,10 @@ Times the paper's two phases with telemetry enabled:
    model is a cache hit; measures the near-zero-cost rerun),
 6. *campaign*: a small injection campaign per benchmark through the
    fault-tolerant executor, full replay (snapshots off),
-7. *campaign_fastforward*: the identical campaign with the checkpointed
+7. *campaign_journal*: the identical campaign with a CRC-checksummed
+   run journal attached under the configured ``--fsync`` policy —
+   measuring the durability tax of crash-consistent journaling,
+8. *campaign_fastforward*: the identical campaign with the checkpointed
    fast-forward engine on — same seeds, same cells, bit-identical
    outcomes — measuring the snapshot restore + suffix-replay speedup.
 
@@ -27,9 +30,11 @@ dominates.
 
 The emitted JSON carries per-phase wall times, per-layer
 (eventsim/dta/executor) timings pulled from the telemetry collector, a
-``pipeline`` block (speedup, warm fraction, cache hit/miss counts) and a
-``fastforward`` block (campaign speedup, snapshot-store stats, restore /
-early-exit / skipped-op counters), so `BENCH_campaign.json` accumulates
+``pipeline`` block (speedup, warm fraction, cache hit/miss counts), a
+``journal`` block (fsync policy, overhead fraction vs the unjournaled
+campaign, record/fsync counts) and a ``fastforward`` block (campaign
+speedup, snapshot-store stats, restore / early-exit / skipped-op
+counters), so `BENCH_campaign.json` accumulates
 a comparable perf trajectory across commits.  `--validate FILE` checks
 an existing file against the schema (used by the CI bench smoke job)
 and exits non-zero on violations.
@@ -70,11 +75,14 @@ from repro.workloads import make_workload                # noqa: E402
 #: characterize_parallel / characterize_warm phases plus the pipeline
 #: speedup block.  v3 adds the campaign_fastforward phase (the same
 #: campaign through the snapshot/fast-forward engine) and the
-#: fastforward block.
-SCHEMA_VERSION = 3
+#: fastforward block.  v4 adds the campaign_journal phase (the same
+#: campaign with the CRC-checksummed run journal attached) and the
+#: journal overhead block.
+SCHEMA_VERSION = 4
 
 PHASES = ("golden", "characterize", "characterize_parallel",
-          "characterize_warm", "campaign", "campaign_fastforward")
+          "characterize_warm", "campaign", "campaign_journal",
+          "campaign_fastforward")
 
 DEFAULT_BENCHMARKS = ("kmeans", "hotspot")
 
@@ -204,6 +212,38 @@ def bench_pipeline(args) -> dict:
         phases["campaign"]["per_benchmark"].values()
     )
 
+    # The identical campaign with the run journal attached: measures the
+    # durability tax of crash-consistent journaling under the configured
+    # fsync policy (group commit by default).  Same seeds, same cells —
+    # the wall-time ratio to the unjournaled campaign phase is a pure
+    # journaling overhead, gated candidate-only in bench_check.
+    journal_stats = {"records": 0, "fsyncs": 0, "write_errors": 0,
+                     "crc_failures": 0}
+    with tempfile.TemporaryDirectory(prefix="bench-journal-") as tmp:
+        for name in args.benchmarks:
+            workload = make_workload(name, scale=args.campaign_scale,
+                                     seed=args.seed)
+            runner = CampaignRunner(
+                workload, seed=args.seed,
+                fastforward=FastForwardConfig(enabled=False),
+            )
+            runner.golden()
+            start = time.perf_counter()
+            config = ExecutorConfig(
+                workers=args.workers, fsync=args.fsync,
+                journal_path=str(Path(tmp) / f"{name}.jsonl"))
+            with CampaignExecutor(runner, config=config) as executor:
+                for point in points:
+                    executor.run_cell(models[name], point, runs=args.runs)
+                for key, value in executor.journal.stats.items():
+                    journal_stats[key] = journal_stats.get(key, 0) + value
+            phases["campaign_journal"]["per_benchmark"][name] = (
+                time.perf_counter() - start
+            )
+    phases["campaign_journal"]["wall_s"] = sum(
+        phases["campaign_journal"]["per_benchmark"].values()
+    )
+
     # The identical campaign, fast-forwarded.  The snapshot-building
     # golden run is timed separately (it is a once-per-campaign cost,
     # symmetric with the reference runners' golden phase), so the phase
@@ -265,6 +305,14 @@ def bench_pipeline(args) -> dict:
     }
 
     campaign_wall = phases["campaign"]["wall_s"]
+    journal_wall = phases["campaign_journal"]["wall_s"]
+    journal_block = {
+        "fsync": args.fsync,
+        "overhead": ((journal_wall - campaign_wall) / campaign_wall
+                     if campaign_wall > 0 else None),
+        **journal_stats,
+    }
+
     ff_wall = phases["campaign_fastforward"]["wall_s"]
     fastforward_block = {
         "interval": (args.snapshot_interval
@@ -312,10 +360,12 @@ def bench_pipeline(args) -> dict:
             "snapshot_interval": (args.snapshot_interval
                                   if args.snapshot_interval is not None
                                   else "inf"),
+            "fsync": args.fsync,
         },
         "micro_dta": micro,
         "phases": phases,
         "pipeline": pipeline_block,
+        "journal": journal_block,
         "fastforward": fastforward_block,
         "layers": layers,
         "telemetry": snapshot,
@@ -361,6 +411,12 @@ def validate(data) -> list:
     cache = need(pipeline, "cache", dict, "$.pipeline") or {}
     for key in ("hit", "miss", "invalid"):
         need(cache, key, int, "$.pipeline.cache")
+
+    journal = need(data, "journal", dict, "$") or {}
+    need(journal, "fsync", str, "$.journal")
+    need(journal, "overhead", (int, float), "$.journal")
+    for key in ("records", "fsyncs", "write_errors", "crc_failures"):
+        need(journal, key, int, "$.journal")
 
     fastforward = need(data, "fastforward", dict, "$") or {}
     need(fastforward, "interval", (int, str), "$.fastforward")
@@ -417,6 +473,11 @@ def main(argv=None) -> int:
                              "boundaries ('inf' = initial snapshot only; "
                              "default 1 = every boundary, the densest "
                              "and fastest configuration)")
+    parser.add_argument("--fsync", default="group",
+                        choices=["group", "always", "close"],
+                        help="journal fsync policy for the "
+                             "campaign_journal phase (default: the "
+                             "executor's group-commit default)")
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
                         help="comma-separated benchmark list")
@@ -465,6 +526,10 @@ def main(argv=None) -> int:
     print(f"  warm-cache fraction   : {pipe['warm_fraction']:.3f} "
           f"(cache: {pipe['cache']['hit']} hit / "
           f"{pipe['cache']['miss']} miss)")
+    journal = data["journal"]
+    print(f"  journal overhead      : {journal['overhead']:+.1%} "
+          f"(fsync={journal['fsync']}, {journal['records']} records, "
+          f"{journal['fsyncs']} fsyncs)")
     ff = data["fastforward"]
     print(f"  fast-forward speedup  : {ff['speedup']:.2f}x "
           f"(interval={ff['interval']}, {ff['restores']} restores, "

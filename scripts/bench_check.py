@@ -24,6 +24,14 @@ candidate alone: the campaign_fastforward phase (snapshot restore +
 suffix replay) must beat the full-replay campaign phase by
 ``--fastforward-speedup-min``.  Reports without the phase skip the
 gate.
+
+Schema v4 reports also gate the journaling overhead on the candidate
+alone: the campaign_journal phase (the same cells with the
+CRC-checksummed run journal attached) may cost at most
+``--journal-overhead-max`` over the unjournaled campaign phase (with a
+small absolute floor for noise) — keeping the crash-consistency tax of
+the default group-commit fsync policy honest.  Reports without the
+phase skip the gate.
 """
 
 import argparse
@@ -176,6 +184,42 @@ def check_fastforward(candidate: dict, speedup_min: float):
     return problems, notes
 
 
+def check_journal(candidate: dict, overhead_max: float,
+                  overhead_floor_s: float):
+    """Candidate-only journal-overhead gate; ``(problems, notes)``.
+
+    The campaign and campaign_journal phases run the same seeded cells;
+    their wall-time delta is the pure cost of crash-consistent
+    journaling under the configured fsync policy.  The budget is
+    ``max(overhead_max * campaign, overhead_floor_s)`` — like the
+    warm-cache gate, the absolute floor keeps sub-second campaign
+    phases from gating on scheduler noise.
+    """
+    problems = []
+    notes = []
+    phases = candidate.get("phases") or {}
+    plain = (phases.get("campaign") or {}).get("wall_s")
+    journaled = (phases.get("campaign_journal") or {}).get("wall_s")
+    if plain is None or journaled is None:
+        notes.append("journal gate skipped: no campaign_journal phase "
+                     "in candidate")
+        return problems, notes
+    fsync = (candidate.get("journal") or {}).get("fsync", "?")
+    delta = journaled - plain
+    budget = max(overhead_max * plain, overhead_floor_s)
+    overhead = delta / plain if plain > 0 else float("inf")
+    if delta > budget:
+        problems.append(
+            f"journal overhead {delta:.3f}s ({overhead:+.1%}, "
+            f"fsync={fsync}) exceeds its budget {budget:.3f}s "
+            f"(max({overhead_max:.0%} of campaign {plain:.3f}s, "
+            f"{overhead_floor_s:.2f}s floor))")
+    else:
+        notes.append(f"journal overhead {delta:.3f}s ({overhead:+.1%}, "
+                     f"fsync={fsync}) within budget {budget:.3f}s")
+    return problems, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate a fresh pipeline benchmark against the "
@@ -203,6 +247,16 @@ def main(argv=None) -> int:
                         default=2.0,
                         help="required campaign/campaign_fastforward "
                              "speedup in the candidate (default 2.0)")
+    parser.add_argument("--journal-overhead-max", type=float,
+                        default=0.05,
+                        help="allowed campaign_journal overhead over "
+                             "the unjournaled campaign phase "
+                             "(default 0.05 = +5%%)")
+    parser.add_argument("--journal-overhead-floor-seconds", type=float,
+                        default=0.1,
+                        help="absolute floor of the journal overhead "
+                             "budget (noise guard for sub-second "
+                             "campaign phases)")
     args = parser.parse_args(argv)
 
     try:
@@ -229,8 +283,11 @@ def main(argv=None) -> int:
         args.warm_floor_seconds)
     ff_problems, ff_notes = check_fastforward(
         candidate, args.fastforward_speedup_min)
-    pipeline_problems += ff_problems
-    pipeline_notes += ff_notes
+    journal_problems, journal_notes = check_journal(
+        candidate, args.journal_overhead_max,
+        args.journal_overhead_floor_seconds)
+    pipeline_problems += ff_problems + journal_problems
+    pipeline_notes += ff_notes + journal_notes
     for note in pipeline_notes:
         print(f"bench_check: {note}")
     failed = False

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
+import os
 import signal
 import time
 import traceback
@@ -54,6 +55,14 @@ from repro.utils.stats import confidence_sample_size
 from repro import telemetry
 from repro.observe import flight
 
+#: Upper bound on how long the pool coordinator blocks waiting for
+#: worker pipes.  A SIGKILLed worker normally surfaces as pipe EOF, but
+#: under heavy load that wake-up has been observed to go missing; the
+#: bounded wait guarantees the liveness sweep in ``_run_pool`` notices a
+#: dead-but-silent worker within one interval instead of hanging the
+#: coordinator forever.
+_LIVENESS_INTERVAL_S = 5.0
+
 
 @dataclass
 class ExecutorConfig:
@@ -74,6 +83,7 @@ class ExecutorConfig:
     kill_grace: float = 5.0          # parent kill = wall timeout + grace
     journal_path: Optional[str] = None
     resume: bool = False
+    fsync: str = "group"             # journal durability policy
 
 
 @dataclass
@@ -96,6 +106,8 @@ class CellStats:
     ff_early_exits: int = 0      # runs that reconverged to the golden tail
     ff_ops_skipped: int = 0      # FP ops fast-forwarded past (prefixes)
     ff_ops_replayed: int = 0     # FP ops actually executed in suffixes
+    ff_corrupt: int = 0          # snapshots quarantined on failed restore
+    ff_cold_starts: int = 0      # runs restarted from the initial state
 
 
 class _WorkerHandle:
@@ -113,8 +125,10 @@ class _WorkerHandle:
     def busy(self) -> bool:
         return self.task is not None
 
-    def assign(self, run_index: int) -> None:
-        self.conn.send(run_index)
+    def assign(self, run_index: int, attempt: int = 0) -> None:
+        # The attempt number rides along so a chaos-injected worker
+        # kill can bound itself by the executor's retry accounting.
+        self.conn.send((run_index, attempt))
         self.task = run_index
         self.started = time.monotonic()
         self.in_guest = False
@@ -152,9 +166,17 @@ class _WorkerHandle:
             pass
 
 
+def _chaos_active():
+    """The process's chaos injector, or None (imported lazily so the
+    chaos package stays an optional leaf dependency of the executor)."""
+    from repro import chaos
+    return chaos.active()
+
+
 def _worker_main(conn, runner: CampaignRunner, model: ErrorModel,
                  point: OperatingPoint,
-                 wall_clock_timeout: Optional[float]) -> None:
+                 wall_clock_timeout: Optional[float],
+                 parent_pid: Optional[int] = None) -> None:
     """Worker loop: receive run indices, send classified results.
 
     Runs in a forked child, so ``runner``/``model``/``point`` are
@@ -184,13 +206,39 @@ def _worker_main(conn, runner: CampaignRunner, model: ErrorModel,
     try:
         golden = runner.golden()  # already cached pre-fork; cheap
         injector = MicroArchInjector(golden.schedule, golden.masking)
+        # The spawner passes its own pid: capturing os.getppid() here
+        # instead would race a coordinator SIGKILL — a worker orphaned
+        # before this line reads the reaper's pid (1), and the orphan
+        # check below can then never fire.
+        parent = os.getppid() if parent_pid is None else parent_pid
         while True:
             try:
-                task = conn.recv()
+                # Poll instead of a bare blocking recv: sibling workers
+                # inherit each other's pipe fds at fork, so a dead
+                # coordinator never EOFs this pipe.  Checking the parent
+                # pid each second lets an orphaned worker exit instead
+                # of blocking on recv forever (observed after a chaos
+                # coordinator SIGKILL).
+                while not conn.poll(1.0):
+                    if os.getppid() != parent:
+                        return
+                message = conn.recv()
             except (EOFError, OSError):
                 break
-            if task is None:
+            if message is None:
                 break
+            task, attempt = (message if isinstance(message, tuple)
+                             else (message, 0))
+            chaos_injector = _chaos_active()
+            if chaos_injector is not None:
+                # A planned pre-guest SIGKILL: the parent sees a worker
+                # death *before* the guest marker and retries the run as
+                # a harness failure — guest outcomes stay untouched.
+                chaos_injector.maybe_kill_worker(
+                    run_key(runner.workload.name, model.name, point.name,
+                            task),
+                    attempt,
+                )
             start = time.monotonic()
             try:
                 execution = runner.execute_run(
@@ -246,7 +294,8 @@ class CampaignExecutor:
         elif self.config.journal_path:
             self.journal = RunJournal.open(self.config.journal_path,
                                            seed=runner.seed,
-                                           resume=self.config.resume)
+                                           resume=self.config.resume,
+                                           fsync=self.config.fsync)
             self._owns_journal = True
         else:
             self.journal = None
@@ -410,6 +459,9 @@ class CampaignExecutor:
         stats.ff_restores += 1
         stats.ff_ops_skipped += int(info.get("ops_skipped", 0))
         stats.ff_ops_replayed += int(info.get("ops_replayed", 0))
+        stats.ff_corrupt += int(info.get("corrupt", 0))
+        if info.get("cold_start"):
+            stats.ff_cold_starts += 1
         if "early_exit" in info:
             stats.ff_early_exits += 1
 
@@ -480,7 +532,7 @@ class CampaignExecutor:
         process = ctx.Process(
             target=_worker_main,
             args=(child_conn, self.runner, model, point,
-                  self.config.wall_clock_timeout),
+                  self.config.wall_clock_timeout, os.getpid()),
             daemon=True,
         )
         process.start()
@@ -517,7 +569,8 @@ class CampaignExecutor:
                         continue
                     run_index = queue.popleft()
                     try:
-                        worker.assign(run_index)
+                        worker.assign(run_index,
+                                      attempts.get(run_index, 0))
                     except (BrokenPipeError, OSError):
                         # Worker died while idle: respawn, requeue.
                         stats.worker_restarts += 1
@@ -531,24 +584,25 @@ class CampaignExecutor:
                                        - time.monotonic()))
                         continue
                     break  # all work drained
-                timeout = None
+                timeout = _LIVENESS_INTERVAL_S
                 if cfg.wall_clock_timeout:
                     deadline = min(
                         w.deadline(cfg.wall_clock_timeout, cfg.kill_grace)
                         for w in busy
                     )
-                    timeout = max(0.0, deadline - time.monotonic())
+                    timeout = min(timeout,
+                                  max(0.0, deadline - time.monotonic()))
                 if retry_heap:
                     wait_retry = max(0.0, retry_heap[0][0] - time.monotonic())
-                    timeout = (wait_retry if timeout is None
-                               else min(timeout, wait_retry))
+                    timeout = min(timeout, wait_retry)
                 ready = set(_connection_wait([w.conn for w in busy],
                                              timeout=timeout))
                 now = time.monotonic()
                 for index, worker in enumerate(workers):
                     if not worker.busy:
                         continue
-                    if worker.conn in ready:
+                    if (worker.conn in ready
+                            or not worker.process.is_alive()):
                         replace = self._drain_worker(
                             worker, model, point, stats, out,
                             attempts, retry_heap,
@@ -608,8 +662,13 @@ class CampaignExecutor:
         while True:
             try:
                 if not worker.conn.poll():
-                    return False
-                message = worker.conn.recv()
+                    if worker.process.is_alive():
+                        return False
+                    # Dead worker whose pipe never signalled EOF (seen
+                    # under load): fall through to the death handling.
+                    message = None
+                else:
+                    message = worker.conn.recv()
             except (EOFError, OSError):
                 message = None
             if isinstance(message, dict) and "telemetry" in message:

@@ -48,6 +48,7 @@ from typing import Dict, List, Optional
 
 from repro.fpu.formats import FpOp
 from repro.uarch.snapshot import (
+    PageCorruption,
     PageStore,
     StateImage,
     decode_state,
@@ -125,6 +126,13 @@ class SnapshotStore:
         #: Deepest = smallest remaining tail, so budget feasibility is
         #: checked against the cheapest equivalent continuation.
         self._by_digest: Dict[tuple, Boundary] = {}
+        #: Boundary indices whose snapshot failed restore verification:
+        #: quarantined for the rest of the campaign, never selected
+        #: again.  Restores fall back to shallower snapshots or a cold
+        #: start — slower, never wrong.
+        self._quarantined: set = set()
+        self.corrupt_snapshots = 0
+        self.cold_starts = 0
         self._built = False
 
     # -- golden build ------------------------------------------------------------
@@ -170,6 +178,9 @@ class SnapshotStore:
         self.pages = PageStore()
         self.boundaries = []
         self._by_digest = {}
+        self._quarantined = set()
+        self.corrupt_snapshots = 0
+        self.cold_starts = 0
         self.early_exit_safe = bool(trap_probe) or not ctx.trap_nonfinite
         if trap_probe:
             ctx._armed = True
@@ -190,17 +201,21 @@ class SnapshotStore:
         return output
 
     # -- injection-run service -----------------------------------------------------
-    def select(self, corruption: Dict[FpOp, Dict[int, int]]) -> Boundary:
-        """Deepest snapshot whose FP position precedes every corruption.
+    def select(self,
+               corruption: Dict[FpOp, Dict[int, int]]) -> Optional[Boundary]:
+        """Deepest valid snapshot whose FP position precedes every corruption.
 
-        Boundary 0 (the initial state) always qualifies, so a
-        checkpointable campaign never needs a cold fallback.
+        Quarantined boundaries (failed restore verification) are never
+        selected.  Returns None when no usable snapshot remains — the
+        caller then cold-starts from the workload's initial state, which
+        is always available and always valid.
         """
         first_index = {op: min(victims)
                        for op, victims in corruption.items() if victims}
-        best = self.boundaries[0]
+        best: Optional[Boundary] = None
         for boundary in self.boundaries:
-            if boundary.image is None:
+            if (boundary.image is None
+                    or boundary.index in self._quarantined):
                 continue
             if all(boundary.counters.get(op, 0) <= first
                    for op, first in first_index.items()):
@@ -208,6 +223,41 @@ class SnapshotStore:
             else:
                 break  # counters only grow: later boundaries invalid too
         return best
+
+    def _materialise(self, workload: Workload,
+                     corruption: Dict[FpOp, Dict[int, int]],
+                     info: Optional[dict]) -> tuple:
+        """A verified ``(boundary, state)`` pair for one injection run.
+
+        Decodes the deepest valid snapshot and proves it faithful (the
+        page hashes via :meth:`PageStore.get`, then the whole state
+        against the boundary's golden digest).  A snapshot that fails is
+        quarantined and the next shallower one is tried; with none left,
+        the run cold-starts from ``workload.initial_state()`` — which by
+        the step-protocol contract performs no FP ops and is exactly the
+        state boundary 0 captured, so its metadata is reused and the
+        replay stays bit-identical, just unaccelerated.
+        """
+        while True:
+            boundary = self.select(corruption)
+            if boundary is None:
+                self.cold_starts += 1
+                if info is not None:
+                    info["cold_start"] = True
+                telemetry.count("campaign.ff.cold_starts")
+                return self.boundaries[0], workload.initial_state()
+            try:
+                state = decode_state(self.pages, boundary.image)
+                if state_digest(state) != boundary.digest:
+                    raise PageCorruption(
+                        f"boundary {boundary.index} state digest mismatch")
+                return boundary, state
+            except PageCorruption:
+                self._quarantined.add(boundary.index)
+                self.corrupt_snapshots += 1
+                if info is not None:
+                    info["corrupt"] = info.get("corrupt", 0) + 1
+                telemetry.count("campaign.ff.corrupt_snapshots")
 
     @staticmethod
     def _consumed(ctx: FPContext,
@@ -245,8 +295,7 @@ class SnapshotStore:
         """
         if not self._built:
             raise RuntimeError("snapshot store used before build()")
-        boundary = self.select(corruption)
-        state = decode_state(self.pages, boundary.image)
+        boundary, state = self._materialise(workload, corruption, info)
         ctx.restore_position(boundary.counters, boundary.ops_executed)
         if info is not None:
             info["boundary"] = boundary.index
@@ -287,5 +336,8 @@ class SnapshotStore:
             "boundaries": len(self.boundaries),
             "snapshots": snapshots,
             "early_exit_safe": self.early_exit_safe,
+            "quarantined": len(self._quarantined),
+            "corrupt_snapshots": self.corrupt_snapshots,
+            "cold_starts": self.cold_starts,
             **self.pages.stats(),
         }

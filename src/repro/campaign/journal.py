@@ -9,29 +9,118 @@ an :class:`~repro.campaign.outcomes.OutcomeCounts` is bit-identical to
 re-executing the runs it records.  That is the executor's determinism
 contract, and what makes a killed campaign resumable.
 
-The journal is a JSONL file written one line per event, flushed per line
-so a SIGKILL loses at most the line being written (a truncated tail line
-is tolerated on load).  Line types:
+The journal is a JSONL file written one line per event.  Line types:
 
 - ``meta``          — journal version + campaign root seed (first line),
 - ``run``           — one classified injection run (guest outcome),
 - ``harness_error`` — a harness-side failure (exception *outside* the
   guest boundary), kept distinct from guest outcomes and never counted,
 - ``cell``          — summary written when a campaign cell completes.
+
+Durability (journal format version 2):
+
+- every line carries a CRC32 of its canonical payload, so silent
+  corruption (bit-rot, torn appends) is *detected* on load — a bad line
+  is quarantined (skipped and counted), never replayed as data, and the
+  executor simply re-runs the missing index;
+- a configurable fsync policy bounds what a power cut can lose:
+  ``"group"`` (the default) fsyncs every ``fsync_every`` records or
+  ``fsync_interval`` seconds, ``"always"`` fsyncs per record, and
+  ``"close"`` reproduces the historical flush-only behaviour;
+- an append that fails with ``OSError`` (a full or failing disk — or
+  the chaos shim pretending to be one) is absorbed: the record stays in
+  memory for this process, a recovery newline isolates any torn tail,
+  and a later ``--resume`` pass re-executes the lost index.  Version-1
+  journals (no CRC) still load.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
+import zlib
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.utils import durable
+
+#: Group-commit defaults: an fsync at most every N records or S seconds
+#: of journal activity.  At campaign run rates this keeps the fsync cost
+#: well under the per-run guest execution while bounding what a power
+#: cut can lose to a small window (versus everything under flush-only).
+FSYNC_EVERY = 64
+FSYNC_INTERVAL = 0.05
+
+#: Accepted ``fsync`` policies of :class:`RunJournal`.
+FSYNC_POLICIES = ("group", "always", "close")
+
+_KEY_COMPONENTS = ("workload", "model", "point")
+
 
 def run_key(workload: str, model: str, point: str, run_index: int) -> str:
-    """The journal key of one run == the name of its RNG stream."""
+    """The journal key of one run == the name of its RNG stream.
+
+    Component names are validated: a ``/`` (or newline, or emptiness)
+    inside a workload/model/point name would silently alias distinct
+    journal keys and RNG streams, corrupting resume and determinism.
+    """
+    for kind, value in zip(_KEY_COMPONENTS, (workload, model, point)):
+        if (not isinstance(value, str) or not value
+                or "/" in value or "\n" in value or "\r" in value):
+            raise ValueError(
+                f"invalid {kind} name {value!r} in run key: names must be "
+                f"non-empty strings without '/' or newlines (they are "
+                f"joined with '/' into journal keys and RNG stream names)"
+            )
     return f"{workload}/{model}/{point}/{run_index}"
+
+
+def _payload_crc(payload: dict) -> int:
+    """CRC32 over the canonical JSON dump of a payload (sans ``crc``)."""
+    blob = json.dumps({k: v for k, v in payload.items() if k != "crc"},
+                      sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(blob.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _crc_ok(payload: dict, strict: bool = False) -> bool:
+    """Whether a loaded line's CRC matches.
+
+    ``strict`` requires the ``crc`` field to be present and match —
+    bit-rot can mutate the key itself (``"crc"`` → ``"c2c"`` is a
+    single-bit flip), so on a journal known to be v2 a missing CRC *is*
+    corruption.  Non-strict accepts CRC-less lines (legacy v1 files).
+    """
+    crc = payload.get("crc")
+    if crc is None:
+        return not strict
+    return crc == _payload_crc(payload)
+
+
+def _parse_lines(path: Union[str, Path]) -> Tuple[List[Optional[dict]], bool]:
+    """Parse a journal into per-line payloads plus a strictness verdict.
+
+    Returns ``(payloads, strict)`` where unparseable (torn) lines are
+    ``None`` and ``strict`` is True iff any line carries a ``crc`` —
+    meaning a v2 writer produced the file and every valid line must
+    check out; only a genuine v1 file (no CRCs anywhere) is read
+    leniently.
+    """
+    payloads: List[Optional[dict]] = []
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                parsed = json.loads(raw)
+            except json.JSONDecodeError:
+                payloads.append(None)
+                continue
+            payloads.append(parsed if isinstance(parsed, dict) else None)
+    strict = any(p is not None and "crc" in p for p in payloads)
+    return payloads, strict
 
 
 class JournalMismatch(ValueError):
@@ -74,39 +163,96 @@ class RunJournal:
 
     Open with ``resume=True`` to load existing records and append after
     them; with ``resume=False`` (the default) an existing file is
-    truncated and the campaign starts clean.
+    truncated and the campaign starts clean.  ``fsync`` selects the
+    durability policy (see the module docstring).
     """
 
-    VERSION = 1
+    VERSION = 2
 
     def __init__(self, path: Union[str, Path], seed: int,
-                 resume: bool = False):
+                 resume: bool = False, fsync: str = "group",
+                 fsync_every: int = FSYNC_EVERY,
+                 fsync_interval: float = FSYNC_INTERVAL):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r} "
+                f"(expected one of {', '.join(FSYNC_POLICIES)})")
         self.path = Path(path)
         self.seed = int(seed)
+        self.fsync = fsync
+        self.fsync_every = max(1, int(fsync_every))
+        self.fsync_interval = float(fsync_interval)
+        self.stats: Dict[str, int] = {
+            "records": 0, "fsyncs": 0, "write_errors": 0,
+            "crc_failures": 0,
+        }
         self._runs: Dict[Tuple[str, str, str], Dict[int, RunRecord]] = {}
         self._harness_errors: List[dict] = []
         self._cells: List[dict] = []
+        self._since_fsync = 0
+        self._last_fsync = time.monotonic()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         existing = resume and self.path.exists() and (
             self.path.stat().st_size > 0
         )
         if existing:
             self._load()
-            self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh = open(self.path, "ab")
         else:
-            self._fh = open(self.path, "w", encoding="utf-8")
+            self._fh = open(self.path, "wb")
             self._write({"type": "meta", "version": self.VERSION,
                          "seed": self.seed})
 
     @classmethod
     def open(cls, path: Union[str, Path], seed: int,
-             resume: bool = False) -> "RunJournal":
-        return cls(path, seed, resume=resume)
+             resume: bool = False, fsync: str = "group") -> "RunJournal":
+        return cls(path, seed, resume=resume, fsync=fsync)
 
     # -- writing ---------------------------------------------------------------
+    def _do_fsync(self) -> None:
+        os.fsync(self._fh.fileno())
+        self.stats["fsyncs"] += 1
+        self._since_fsync = 0
+        self._last_fsync = time.monotonic()
+
+    def _maybe_fsync(self) -> None:
+        if self.fsync == "close":
+            return
+        if self.fsync == "always":
+            self._do_fsync()
+            return
+        if (self._since_fsync >= self.fsync_every
+                or time.monotonic() - self._last_fsync
+                >= self.fsync_interval):
+            self._do_fsync()
+
     def _write(self, payload: dict) -> None:
-        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
-        self._fh.flush()
+        line = dict(payload)
+        line["crc"] = _payload_crc(payload)
+        data = (json.dumps(line, separators=(",", ":")) + "\n").encode()
+        written, failure = durable.get_fault_hook().filter_write(
+            "journal", str(self.path), data)
+        try:
+            self._fh.write(written)
+            self._fh.flush()
+            if failure is not None:
+                raise failure
+        except OSError:
+            # The record is lost on disk but kept in memory: this
+            # process keeps its exact results, and a resume pass simply
+            # re-executes the missing index.  A recovery newline keeps a
+            # torn tail from gluing onto the next record.
+            self.stats["write_errors"] += 1
+            try:
+                self._fh.write(b"\n")
+                self._fh.flush()
+            except OSError:  # pragma: no cover - disk still failing
+                pass
+            return
+        self.stats["records"] += 1
+        self._since_fsync += 1
+        self._maybe_fsync()
+        durable.get_fault_hook().on_journal_record(str(self.path))
 
     def record_run(self, record: RunRecord) -> None:
         payload = {"type": "run", "seed": self.seed}
@@ -136,38 +282,41 @@ class RunJournal:
 
     # -- reading ---------------------------------------------------------------
     def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for raw in fh:
-                raw = raw.strip()
-                if not raw:
-                    continue
-                try:
-                    payload = json.loads(raw)
-                except json.JSONDecodeError:
-                    # A kill mid-write truncates at most the final line.
-                    continue
-                kind = payload.get("type")
-                if kind == "meta":
-                    if payload.get("seed") != self.seed:
-                        raise JournalMismatch(
-                            f"journal {self.path} was written for seed "
-                            f"{payload.get('seed')}, not {self.seed}"
-                        )
-                elif kind == "run":
-                    record = RunRecord(**{
-                        k: payload[k] for k in (
-                            "workload", "model", "point", "run_index",
-                            "outcome", "injected", "uarch_masked",
-                            "watchdog", "unexpected", "wall_ms", "retries",
-                        ) if k in payload
-                    })
-                    self._runs.setdefault(record.cell, {})[
-                        record.run_index
-                    ] = record
-                elif kind == "harness_error":
-                    self._harness_errors.append(payload)
-                elif kind == "cell":
-                    self._cells.append(payload)
+        payloads, strict = _parse_lines(self.path)
+        for payload in payloads:
+            if payload is None:
+                # A kill mid-write truncates/tears the line; the
+                # affected run is simply re-executed on resume.
+                continue
+            if not _crc_ok(payload, strict=strict):
+                # Silent corruption (bit-rot): quarantine the line —
+                # never replay a record the checksum disowns.  On a
+                # v2 journal a *missing* CRC is corruption too (the
+                # key itself may have rotted).
+                self.stats["crc_failures"] += 1
+                continue
+            kind = payload.get("type")
+            if kind == "meta":
+                if payload.get("seed") != self.seed:
+                    raise JournalMismatch(
+                        f"journal {self.path} was written for seed "
+                        f"{payload.get('seed')}, not {self.seed}"
+                    )
+            elif kind == "run":
+                record = RunRecord(**{
+                    k: payload[k] for k in (
+                        "workload", "model", "point", "run_index",
+                        "outcome", "injected", "uarch_masked",
+                        "watchdog", "unexpected", "wall_ms", "retries",
+                    ) if k in payload
+                })
+                self._runs.setdefault(record.cell, {})[
+                    record.run_index
+                ] = record
+            elif kind == "harness_error":
+                self._harness_errors.append(payload)
+            elif kind == "cell":
+                self._cells.append(payload)
 
     def completed_runs(self, workload: str, model: str,
                        point: str) -> Dict[int, RunRecord]:
@@ -199,3 +348,42 @@ class RunJournal:
         total = sum(len(v) for v in self._runs.values())
         return (f"RunJournal(path={str(self.path)!r}, seed={self.seed}, "
                 f"runs={total})")
+
+
+def canonical_journal(path: Union[str, Path]) -> str:
+    """Canonical, fault-invariant rendering of a journal file.
+
+    The equivalence form of the chaos differential: two campaigns of the
+    same cells are *the same campaign* iff their canonical journals are
+    byte-identical.  Canonicalisation drops everything faults may
+    legitimately perturb without changing the data — per-run wall
+    clocks, retry counts, CRCs, harness-error lines, the meta line,
+    corrupt/torn lines — keeps the last occurrence of each run and cell
+    (a heal pass may re-append either), and sorts deterministically.
+    """
+    runs: Dict[tuple, str] = {}
+    cells: Dict[tuple, str] = {}
+    payloads, strict = _parse_lines(path)
+    for payload in payloads:
+        if payload is None or not _crc_ok(payload, strict=strict):
+            continue
+        kind = payload.get("type")
+        if kind == "run":
+            entry = {k: v for k, v in payload.items()
+                     if k not in ("wall_ms", "retries", "crc")}
+            try:
+                key = (entry["workload"], entry["model"],
+                       entry["point"], entry["run_index"])
+            except KeyError:
+                continue
+            runs[key] = json.dumps(entry, sort_keys=True,
+                                   separators=(",", ":"))
+        elif kind == "cell":
+            entry = {k: v for k, v in payload.items() if k != "crc"}
+            key = (entry.get("workload"), entry.get("model"),
+                   entry.get("point"))
+            cells[key] = json.dumps(entry, sort_keys=True,
+                                    separators=(",", ":"))
+    lines = [runs[key] for key in sorted(runs)]
+    lines += [cells[key] for key in sorted(cells)]
+    return "\n".join(lines) + ("\n" if lines else "")

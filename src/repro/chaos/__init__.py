@@ -1,0 +1,87 @@
+"""Chaos engineering for the campaign harness.
+
+Deterministic injection of *infrastructure* faults — worker and
+coordinator SIGKILLs, torn/failed/bit-rotted durable writes, snapshot
+page rot — driven by a seeded :class:`~repro.chaos.plan.FaultPlan`, plus
+the supervisor loop that proves the harness heals from all of it (the
+``repro chaos`` CLI command).
+
+Usage inside a campaign process::
+
+    from repro import chaos
+    injector = chaos.install_from_env()   # no-op without the env vars
+    try:
+        ...run the campaign...
+    finally:
+        chaos.uninstall()
+
+The injector is installed as the process-global durable-IO fault hook
+(:mod:`repro.utils.durable`) and inherited by forked workers, so one
+``install`` covers the whole process tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.chaos.fsshim import FaultInjector
+from repro.chaos.plan import FS_KINDS, FS_TARGETS, FaultPlan
+from repro.chaos.supervisor import (
+    ENV_INCARNATION,
+    ENV_PLAN,
+    ENV_STATS,
+    SupervisorResult,
+    supervise,
+)
+from repro.utils import durable
+
+__all__ = [
+    "FS_KINDS", "FS_TARGETS", "FaultInjector", "FaultPlan",
+    "SupervisorResult", "active", "install", "install_from_env",
+    "supervise", "uninstall",
+    "ENV_PLAN", "ENV_INCARNATION", "ENV_STATS",
+]
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def install(plan: FaultPlan, incarnation: int = 0,
+            stats_path: Optional[str] = None) -> FaultInjector:
+    """Install ``plan`` as this process's fault injector."""
+    global _ACTIVE
+    injector = FaultInjector(plan, incarnation=incarnation,
+                             stats_path=stats_path)
+    durable.set_fault_hook(injector)
+    _ACTIVE = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Remove the injector (dumping its stats) and restore no-op IO."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.dump_stats()
+    durable.set_fault_hook(None)
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultInjector]:
+    """The installed injector, or None outside a chaos run."""
+    return _ACTIVE
+
+
+def install_from_env(environ=os.environ) -> Optional[FaultInjector]:
+    """Install the injector a supervisor shipped via the environment.
+
+    Returns None (and installs nothing) when :data:`ENV_PLAN` is unset —
+    the ordinary, chaos-free campaign path.
+    """
+    raw = environ.get(ENV_PLAN)
+    if not raw:
+        return None
+    plan = FaultPlan.from_dict(json.loads(raw))
+    incarnation = int(environ.get(ENV_INCARNATION, "0"))
+    return install(plan, incarnation=incarnation,
+                   stats_path=environ.get(ENV_STATS))

@@ -1,0 +1,144 @@
+"""The fault injector: a FaultHook that executes a FaultPlan.
+
+One :class:`FaultInjector` is installed per process (coordinator and,
+by fork inheritance, every worker).  It makes three kinds of trouble:
+
+- **filesystem faults** on durable writes (journal appends, model-store
+  / ModelCache artifacts) — ``eio`` fails the write with nothing
+  written, ``enospc``/``torn`` land half the bytes then fail, and
+  ``bitrot`` silently flips one bit of what reaches the disk,
+- **page-rot** on snapshot :class:`~repro.uarch.snapshot.PageStore`
+  reads (silent single-bit corruption of a returned page),
+- **kills**: SIGKILL of a worker before it enters the guest boundary
+  (so the death is a retried harness failure, never a guest outcome)
+  and SIGKILL of the coordinator after a planned number of journal
+  records.
+
+Every fault fires at most once per (target, kind, key) per process so
+retried IO makes progress, and all decisions come from the seeded
+:class:`~repro.chaos.plan.FaultPlan` — two processes evaluating the
+same plan at the same incarnation inject identical faults.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+import signal
+from collections import Counter
+from typing import Optional, Tuple
+
+from repro.chaos.plan import FaultPlan
+from repro.utils.durable import FaultHook
+
+
+def _flip_bit(data: bytes, roll_key: str) -> bytes:
+    """Flip one deterministically chosen bit of ``data``."""
+    if not data:
+        return data
+    digest = hashlib.sha256(f"bitrot|{roll_key}".encode()).digest()
+    position = int.from_bytes(digest[:8], "big") % (len(data) * 8)
+    corrupted = bytearray(data)
+    corrupted[position // 8] ^= 1 << (position % 8)
+    return bytes(corrupted)
+
+
+class FaultInjector(FaultHook):
+    """Executes a :class:`FaultPlan` against the durable-IO hook points."""
+
+    def __init__(self, plan: FaultPlan, incarnation: int = 0,
+                 stats_path: Optional[str] = None):
+        self.plan = plan
+        self.incarnation = int(incarnation)
+        self.stats_path = stats_path
+        self.stats: Counter = Counter()
+        self._fired = set()          # (target, kind, key): once per process
+        self._journal_records = 0
+
+    @property
+    def faults_active(self) -> bool:
+        return self.incarnation < self.plan.fault_incarnations
+
+    # -- filesystem faults -------------------------------------------------------
+    def _decide(self, target: str, key: str) -> Optional[str]:
+        if not self.faults_active:
+            return None
+        kind = self.plan.fs_fault(target, key, self.incarnation)
+        if kind is None:
+            return None
+        fire_key = (target, kind, key)
+        if fire_key in self._fired:
+            return None
+        self._fired.add(fire_key)
+        self.stats[f"fs.{target}.{kind}"] += 1
+        return kind
+
+    def filter_write(self, target: str, path: str,
+                     data: bytes) -> Tuple[bytes, Optional[BaseException]]:
+        key = hashlib.sha1(
+            f"{target}|{os.path.basename(path)}|".encode() + data
+        ).hexdigest()[:16]
+        kind = self._decide(target, key)
+        if kind is None:
+            return data, None
+        if kind == "eio":
+            return b"", OSError(errno.EIO, f"injected EIO on {target}")
+        if kind == "enospc":
+            return data[:len(data) // 2], OSError(
+                errno.ENOSPC, f"injected ENOSPC on {target}")
+        if kind == "torn":
+            return data[:len(data) // 2], OSError(
+                errno.EIO, f"injected torn write on {target}")
+        # bitrot: full write "succeeds", one bit lies.
+        return _flip_bit(data, f"{self.plan.seed}|{key}"), None
+
+    def filter_page(self, key: bytes, page: bytes) -> bytes:
+        kind = self._decide("page", key.hex()[:16])
+        if kind is None:
+            return page
+        # Whatever kind was sampled, a page read can only rot silently.
+        return _flip_bit(page, f"{self.plan.seed}|page|{key.hex()}")
+
+    # -- kills -------------------------------------------------------------------
+    def maybe_kill_worker(self, run_key: str, attempt: int) -> None:
+        """SIGKILL the calling worker if the plan says this attempt dies.
+
+        Must be called *before* the guest-entry marker is sent, so the
+        coordinator classifies the death as a harness failure (retried)
+        rather than a guest Crash (journaled as data).
+        """
+        if not self.faults_active:
+            return
+        if attempt < self.plan.worker_kills(run_key):
+            self.stats["kills.worker"] += 1
+            self.dump_stats()
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def on_journal_record(self, path: str) -> None:
+        self._journal_records += 1
+        threshold = self.plan.coordinator_kill_after(self.incarnation)
+        if (self.faults_active and threshold is not None
+                and self._journal_records >= threshold):
+            self.stats["kills.coordinator"] += 1
+            self.dump_stats()
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- observability -----------------------------------------------------------
+    def dump_stats(self) -> None:
+        """Append this process's fault tallies to the stats JSONL file."""
+        if not self.stats_path:
+            return
+        line = json.dumps({
+            "incarnation": self.incarnation,
+            "pid": os.getpid(),
+            "faults_active": self.faults_active,
+            "stats": dict(sorted(self.stats.items())),
+        }, sort_keys=True)
+        try:
+            with open(self.stats_path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+        except OSError:  # pragma: no cover - stats are best-effort
+            pass

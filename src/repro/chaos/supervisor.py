@@ -1,0 +1,122 @@
+"""The self-healing supervisor: restart a killed campaign until it heals.
+
+``supervise`` runs a campaign command under a :class:`FaultPlan` shipped
+via environment variables, restarting it (with ``--resume``) every time
+it dies by signal — each restart is a new *incarnation*, which the plan
+uses to sample filesystem faults afresh and to decide when (if ever) to
+kill the next coordinator.  After the campaign finally exits cleanly, a
+**heal pass** runs once more with all chaos disabled and ``--resume``:
+it re-executes any runs whose journal records were lost to injected IO
+faults, leaving a journal that is canonically identical to a fault-free
+campaign's (the property ``tests/chaos/test_differential.py`` asserts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.chaos.plan import FaultPlan
+
+ENV_PLAN = "REPRO_CHAOS_PLAN"
+ENV_INCARNATION = "REPRO_CHAOS_INCARNATION"
+ENV_STATS = "REPRO_CHAOS_STATS"
+
+
+@dataclass
+class SupervisorResult:
+    """What a supervised campaign run went through."""
+
+    incarnations: int            # campaign processes launched (pre-heal)
+    restarts: int                # deaths-by-signal that were restarted
+    exit_code: int               # final campaign exit code
+    healed: bool                 # the fault-free heal pass completed
+    exit_codes: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+
+def _with_resume(argv: Sequence[str]) -> List[str]:
+    cmd = list(argv)
+    if "--resume" not in cmd:
+        cmd.append("--resume")
+    return cmd
+
+
+def _run_swept(cmd: Sequence[str], env: dict) -> int:
+    """Run one incarnation in its own process group, then kill the group.
+
+    A coordinator SIGKILLed mid-campaign strands its forked workers;
+    such an orphan inherits the campaign's stdout/stderr, so it also
+    wedges any pipe reader waiting for EOF (observed as a supervised
+    run "hanging" long after every incarnation finished).  Sweeping the
+    process group once the leader exits guarantees no incarnation
+    leaks processes into the next one.
+    """
+    proc = subprocess.Popen(cmd, env=env, start_new_session=True)
+    try:
+        rc = proc.wait()
+    finally:
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+    return rc
+
+
+def supervise(argv: Sequence[str], plan: FaultPlan,
+              max_restarts: int = 8, heal: bool = True,
+              stats_path: Optional[str] = None,
+              env: Optional[dict] = None) -> SupervisorResult:
+    """Run ``argv`` under ``plan``, restarting signal deaths.
+
+    ``argv`` must be a campaign invocation that writes a ``--journal``
+    and accepts ``--resume`` (the supervisor appends it from the second
+    incarnation on).  A positive exit code is a real error and stops
+    the loop; death by signal (negative returncode) is restarted up to
+    ``max_restarts`` times.  With ``heal=True`` (the default) a final
+    chaos-free resume pass repairs any journal damage.
+    """
+    base_env = dict(os.environ if env is None else env)
+    for key in (ENV_PLAN, ENV_INCARNATION, ENV_STATS):
+        base_env.pop(key, None)
+    incarnation = 0
+    restarts = 0
+    exit_codes: List[int] = []
+    while True:
+        run_env = dict(base_env)
+        run_env[ENV_PLAN] = json.dumps(plan.to_dict())
+        run_env[ENV_INCARNATION] = str(incarnation)
+        if stats_path:
+            run_env[ENV_STATS] = str(stats_path)
+        cmd = _with_resume(argv) if incarnation > 0 else list(argv)
+        rc = _run_swept(cmd, run_env)
+        exit_codes.append(rc)
+        if rc >= 0 and rc != 0:
+            # A real campaign error, not an injected kill: do not mask
+            # it with restarts.
+            return SupervisorResult(incarnation + 1, restarts, rc,
+                                    healed=False, exit_codes=exit_codes)
+        if rc == 0:
+            break
+        restarts += 1
+        if restarts > max_restarts:
+            return SupervisorResult(incarnation + 1, restarts, rc,
+                                    healed=False, exit_codes=exit_codes)
+        incarnation += 1
+    healed = False
+    final_rc = 0
+    if heal:
+        # Fault-free resume: re-runs journal gaps left by injected IO
+        # faults, re-appends cell summaries, fsyncs everything.
+        final_rc = _run_swept(_with_resume(argv), base_env)
+        exit_codes.append(final_rc)
+        healed = final_rc == 0
+    return SupervisorResult(incarnation + 1, restarts, final_rc,
+                            healed=healed, exit_codes=exit_codes)

@@ -120,11 +120,16 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    from repro import chaos
+
     if args.flight and not args.trace:
         raise SystemExit(
             "error: --flight records runs into the telemetry trace; "
             "pass --trace PATH as well"
         )
+    # A supervising `repro chaos` process ships a fault plan through the
+    # environment; outside a chaos run this is a no-op returning None.
+    chaos_injector = chaos.install_from_env()
     if args.trace:
         args.telemetry = True  # --trace implies telemetry, explicitly
         _check_parent_dir(args.trace, "--trace")
@@ -184,9 +189,11 @@ def _cmd_campaign(args) -> int:
             wall_clock_timeout=args.wall_timeout,
             journal_path=args.journal,
             resume=args.resume,
+            fsync=args.fsync,
         )
         with CampaignExecutor(runner, config=config,
                               monitor=monitor) as executor:
+            journal = executor.journal
             results = [executor.run_cell(model, point, runs=args.runs)
                        for point in points]
     finally:
@@ -196,14 +203,25 @@ def _cmd_campaign(args) -> int:
             flight.disable()
         if sink is not None:
             sink.close(telemetry.get_collector())
+        if chaos_injector is not None:
+            chaos.uninstall()
     print(outcome_table(results))
     print()
     print(executor_stats_table(results))
+    if journal is not None:
+        js = journal.stats
+        print()
+        print(f"journal: {js['records']} record(s), {js['fsyncs']} "
+              f"fsync(s) ({args.fsync} policy), {js['write_errors']} "
+              f"write error(s), {js['crc_failures']} corrupt line(s) "
+              f"quarantined on load")
     if golden.snapshots is not None:
         stats = golden.snapshots.stats()
         restores = sum(r.stats.ff_restores for r in results)
         exits = sum(r.stats.ff_early_exits for r in results)
         skipped = sum(r.stats.ff_ops_skipped for r in results)
+        corrupt = sum(r.stats.ff_corrupt for r in results)
+        cold = sum(r.stats.ff_cold_starts for r in results)
         print()
         print(f"fast-forward: {stats['snapshots']} snapshot(s) over "
               f"{stats['boundaries']} boundaries (interval "
@@ -211,6 +229,18 @@ def _cmd_campaign(args) -> int:
               f"stored ({stats['dedup_saved_bytes']} deduplicated); "
               f"{restores} restore(s), {exits} early exit(s), "
               f"{skipped} ops skipped")
+        if corrupt or cold:
+            print(f"fast-forward recovery: {corrupt} corrupt snapshot(s) "
+                  f"quarantined, {cold} cold start(s) from the initial "
+                  f"state (outcomes unaffected: recovery replays more, "
+                  f"never differently)")
+    if chaos_injector is not None:
+        tallies = ", ".join(f"{name}={count}" for name, count
+                            in sorted(chaos_injector.stats.items()))
+        print()
+        print(f"chaos: incarnation {chaos_injector.incarnation}, "
+              f"faults {'on' if chaos_injector.faults_active else 'off'}"
+              + (f", injected: {tallies}" if tallies else ""))
     elif args.fast_forward and workload.checkpointable is False:
         print()
         print(f"fast-forward: {workload.name} is not checkpointable; "
@@ -222,6 +252,59 @@ def _cmd_campaign(args) -> int:
         print(summary_table(telemetry.snapshot()))
         telemetry.disable()
     return 0
+
+
+def _parse_fs_rates(specs):
+    """``TARGET:KIND=RATE`` flags -> the FaultPlan fs_rates mapping."""
+    from repro.chaos import FS_KINDS, FS_TARGETS
+
+    rates = {}
+    for spec in specs:
+        try:
+            target_kind, rate = spec.split("=", 1)
+            target, kind = target_kind.split(":", 1)
+            rates.setdefault(target, {})[kind] = float(rate)
+        except ValueError:
+            raise SystemExit(
+                f"error: --fs-rate {spec!r}: expected TARGET:KIND=RATE "
+                f"(targets: {', '.join(FS_TARGETS)}; kinds: "
+                f"{', '.join(FS_KINDS)})"
+            )
+    return rates
+
+
+def _cmd_chaos(args) -> int:
+    from repro import chaos
+
+    campaign_args = list(args.campaign_args)
+    if campaign_args and campaign_args[0] == "--":
+        campaign_args = campaign_args[1:]
+    if "--journal" not in campaign_args:
+        raise SystemExit(
+            "error: repro chaos supervises a journaled campaign; pass "
+            "--journal PATH among the campaign arguments"
+        )
+    try:
+        plan = chaos.FaultPlan(
+            seed=args.plan_seed,
+            worker_kill_rate=args.worker_kill_rate,
+            max_worker_kills=args.max_worker_kills,
+            coordinator_kills=tuple(args.coordinator_kills),
+            fs_rates=_parse_fs_rates(args.fs_rate),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: invalid fault plan: {exc}")
+    argv = [sys.executable, "-m", "repro", "campaign"] + campaign_args
+    result = chaos.supervise(argv, plan, max_restarts=args.max_restarts,
+                             heal=not args.no_heal, stats_path=args.stats)
+    print()
+    print(f"chaos: {result.incarnations} incarnation(s), "
+          f"{result.restarts} restart(s) after injected kills, "
+          f"heal pass {'completed' if result.healed else 'skipped'}"
+          f"{'' if result.ok else f', FAILED (exit {result.exit_code})'}")
+    if args.stats and Path(args.stats).exists():
+        print(f"chaos: per-process fault tallies in {args.stats}")
+    return 0 if result.ok else 1
 
 
 def _cmd_trace(args) -> int:
@@ -342,6 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="resume from an existing journal instead of "
                         "starting clean")
+    p.add_argument("--fsync", choices=["group", "always", "close"],
+                   default="group",
+                   help="journal durability policy: 'group' (default) "
+                        "fsyncs every 64 records / 50 ms, 'always' per "
+                        "record, 'close' only at shutdown")
     p.add_argument("--telemetry", action="store_true",
                    help="collect counters/spans and print a summary table")
     p.add_argument("--trace", default=None,
@@ -369,6 +457,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="snapshot spacing in step boundaries, or 'inf' "
                         "for the initial snapshot only "
                         f"(default {DEFAULT_INTERVAL})")
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a campaign under a deterministic fault plan",
+        description="Supervise `repro campaign` under seeded harness "
+                    "faults: worker SIGKILLs, coordinator kills at "
+                    "journal boundaries, and injected EIO/ENOSPC/torn/"
+                    "bit-rot filesystem faults.  Killed campaigns are "
+                    "restarted with --resume; a final fault-free heal "
+                    "pass leaves the journal canonically identical to a "
+                    "fault-free run's.  Arguments after `--` are "
+                    "forwarded to `repro campaign` verbatim and must "
+                    "include --journal.")
+    p.add_argument("--plan-seed", type=int, default=0,
+                   help="fault-plan seed (same seed = same faults)")
+    p.add_argument("--worker-kill-rate", type=float, default=0.0,
+                   help="probability a run's worker is SIGKILLed "
+                        "pre-guest (retried as a harness failure)")
+    p.add_argument("--max-worker-kills", type=int, default=1,
+                   help="max consecutive kill attempts per run; keep "
+                        "<= the executor's max_retries (2) or the run "
+                        "is abandoned")
+    p.add_argument("--coordinator-kills", type=int, nargs="*", default=[],
+                   help="journal-record counts after which incarnation "
+                        "0, 1, ... of the coordinator is SIGKILLed")
+    p.add_argument("--fs-rate", action="append", default=[],
+                   metavar="TARGET:KIND=RATE",
+                   help="filesystem fault rate, repeatable (targets: "
+                        "journal, cache, store, page; kinds: eio, "
+                        "enospc, torn, bitrot)")
+    p.add_argument("--max-restarts", type=int, default=8,
+                   help="give up after this many restarts")
+    p.add_argument("--stats", default=None,
+                   help="append per-process fault tallies to this "
+                        "JSONL file")
+    p.add_argument("--no-heal", action="store_true",
+                   help="skip the final fault-free --resume pass")
+    p.add_argument("campaign_args", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to `repro campaign`")
 
     p = sub.add_parser("trace", help="query a recorded telemetry trace")
     trace_sub = p.add_subparsers(dest="trace_command", required=True)
@@ -424,6 +551,7 @@ def main(argv=None) -> int:
         "list": _cmd_list,
         "characterize": _cmd_characterize,
         "campaign": _cmd_campaign,
+        "chaos": _cmd_chaos,
         "trace": _cmd_trace,
         "report": _cmd_report,
         "experiment": _cmd_experiment,

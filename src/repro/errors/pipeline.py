@@ -204,9 +204,13 @@ class ModelCache:
 
     Entries are ordinary store artifacts (inspectable JSON, provenance
     included) named by their key prefix.  A hit returns the stored
-    model; an unreadable, truncated or format-stale entry counts as
-    ``characterize.cache.invalid`` and falls back to recomputation,
-    after which the entry is rewritten atomically.
+    model; an unreadable, truncated, checksum-failing or format-stale
+    entry counts as ``characterize.cache.invalid``, is *quarantined*
+    (renamed aside with a ``.quarantined`` suffix so the corrupt bytes
+    stay inspectable but can never be served) and falls back to
+    recomputation, after which the entry is rewritten atomically.  A
+    failing write (disk full, injected fault) degrades to "not cached"
+    instead of failing the characterisation.
     """
 
     _LOADERS = {"DA": store.load_da, "IA": store.load_ia,
@@ -217,7 +221,8 @@ class ModelCache:
     def __init__(self, root: PathLike):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self._stats = {"hit": 0, "miss": 0, "invalid": 0}
+        self._stats = {"hit": 0, "miss": 0, "invalid": 0,
+                       "quarantined": 0, "store_errors": 0}
 
     def path(self, kind: str, key: str) -> Path:
         return self.root / f"{kind.lower()}_{key[:32]}.json"
@@ -225,6 +230,14 @@ class ModelCache:
     def _count(self, outcome: str) -> None:
         self._stats[outcome] += 1
         telemetry.count(f"characterize.cache.{outcome}")
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside; it must never be loadable again."""
+        try:
+            os.replace(path, path.with_name(path.name + ".quarantined"))
+            self._count("quarantined")
+        except OSError:  # pragma: no cover - entry vanished underneath
+            pass
 
     def load(self, kind: str, key: str):
         path = self.path(kind, key)
@@ -234,22 +247,26 @@ class ModelCache:
         try:
             model = self._LOADERS[kind](path)
         except Exception:
-            # Corrupt or stale (e.g. written by an older format_version
-            # that the store no longer accepts): recompute and rewrite.
+            # Corrupt (bit-rot caught by the artifact checksum, torn
+            # JSON) or stale (an older format_version the store no
+            # longer accepts): quarantine, recompute, rewrite.
             self._count("invalid")
+            self._quarantine(path)
             return None
         self._count("hit")
         return model
 
-    def store(self, kind: str, key: str, model) -> Path:
+    def store(self, kind: str, key: str, model) -> Optional[Path]:
         path = self.path(kind, key)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        self._SAVERS[kind](model, tmp)
-        os.replace(tmp, path)
-        return path
+        try:
+            # Store saves are atomic (temp + fsync + replace) already.
+            return self._SAVERS[kind](model, path, target="cache")
+        except OSError:
+            self._count("store_errors")
+            return None
 
     def stats(self) -> Dict[str, int]:
-        """Lifetime hit/miss/invalid counts of this cache instance.
+        """Lifetime hit/miss/invalid/quarantine counts of this instance.
 
         Tracked instance-locally (so they work with telemetry disabled)
         and mirrored into the ``characterize.cache.*`` telemetry

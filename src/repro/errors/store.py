@@ -6,10 +6,17 @@ application-evaluation phase can re-run campaigns without repeating it —
 the same artifact-handoff structure the paper's toolflow uses between its
 two phases.  JSON (not pickle) keeps artifacts inspectable and safe to
 share.
+
+Artifacts are written crash-consistently (temp file + fsync +
+``os.replace`` via :mod:`repro.utils.durable`, so a kill mid-save never
+leaves a truncated file) and, from format version 3, carry a SHA-256
+content checksum verified on load — silent corruption raises
+:class:`ArtifactCorruption` instead of loading rotted model data.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Optional, Union
@@ -18,12 +25,15 @@ from repro.errors.base import ErrorModel, Provenance
 from repro.errors.da import DaModel
 from repro.errors.ia import IaModel
 from repro.errors.wa import WaModel
+from repro.utils import durable
 
-#: Current schema: version 2 adds the ``provenance`` block (benchmark,
-#: seed, samples, operating points).  Version-1 artifacts (no provenance)
-#: still load; anything else is rejected with a clear error.
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: Current schema: version 2 added the ``provenance`` block (benchmark,
+#: seed, samples, operating points); version 3 adds the ``checksum``
+#: field (SHA-256 over the canonical model/provenance/payload dump,
+#: verified on load).  Version-1/2 artifacts still load; anything else
+#: is rejected with a clear error.
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Public alias: the characterization pipeline folds the artifact schema
 #: version into its content-addressed cache key, so bumping the format
@@ -33,12 +43,29 @@ FORMAT_VERSION = _FORMAT_VERSION
 PathLike = Union[str, Path]
 
 
+class ArtifactCorruption(ValueError):
+    """An artifact's content checksum does not match its data."""
+
+
+def _checksum(kind: str, provenance: Optional[dict],
+              payload: dict) -> str:
+    # Normalise through a JSON round trip first: non-string dict keys
+    # become strings on save, and the checksum must compute identically
+    # from the in-memory payload (save) and the re-parsed one (load).
+    normalized = json.loads(json.dumps(
+        {"model": kind, "provenance": provenance, "payload": payload}))
+    blob = json.dumps(normalized, sort_keys=True, separators=(",", ":"))
+    return "sha256:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def _wrap(kind: str, payload: dict,
           provenance: Optional[Provenance] = None) -> dict:
+    prov = provenance.to_dict() if provenance else None
     return {
         "format_version": _FORMAT_VERSION,
         "model": kind,
-        "provenance": provenance.to_dict() if provenance else None,
+        "checksum": _checksum(kind, prov, payload),
+        "provenance": prov,
         "payload": payload,
     }
 
@@ -57,7 +84,22 @@ def _unwrap(data: dict, expected_kind: str) -> dict:
         raise ValueError(
             f"artifact holds a {kind!r} model, expected {expected_kind!r}"
         )
+    if version >= 3:
+        expected = _checksum(kind, data.get("provenance"), data["payload"])
+        if data.get("checksum") != expected:
+            raise ArtifactCorruption(
+                f"artifact checksum mismatch for {kind!r} model: the "
+                f"file was corrupted after it was written (expected "
+                f"{expected})"
+            )
     return data["payload"]
+
+
+def _save(envelope: dict, path: PathLike, target: str) -> Path:
+    # The JSON round-trip through ``durable`` is crash-consistent: a
+    # kill at any instant leaves the old artifact or the new, whole one.
+    data = (json.dumps(envelope, indent=2) + "\n").encode("utf-8")
+    return durable.atomic_write_bytes(Path(path), data, target=target)
 
 
 def _attach_provenance(model: ErrorModel, data: dict) -> ErrorModel:
@@ -67,15 +109,13 @@ def _attach_provenance(model: ErrorModel, data: dict) -> ErrorModel:
     return model
 
 
-def save_da(model: DaModel, path: PathLike) -> Path:
-    path = Path(path)
+def save_da(model: DaModel, path: PathLike,
+            target: str = "store") -> Path:
     payload = {
         "fixed_error_ratios": model.fixed_error_ratios,
         "injection_window": model.injection_window,
     }
-    path.write_text(json.dumps(_wrap("DA", payload, model.provenance),
-                               indent=2))
-    return path
+    return _save(_wrap("DA", payload, model.provenance), path, target)
 
 
 def load_da(path: PathLike) -> DaModel:
@@ -86,13 +126,11 @@ def load_da(path: PathLike) -> DaModel:
     return _attach_provenance(model, data)
 
 
-def save_ia(model: IaModel, path: PathLike) -> Path:
-    path = Path(path)
+def save_ia(model: IaModel, path: PathLike,
+            target: str = "store") -> Path:
     payload = {"stats": model.to_dict(),
                "injection_window": model.injection_window}
-    path.write_text(json.dumps(_wrap("IA", payload, model.provenance),
-                               indent=2))
-    return path
+    return _save(_wrap("IA", payload, model.provenance), path, target)
 
 
 def load_ia(path: PathLike) -> IaModel:
@@ -103,11 +141,10 @@ def load_ia(path: PathLike) -> IaModel:
     return _attach_provenance(model, data)
 
 
-def save_wa(model: WaModel, path: PathLike) -> Path:
-    path = Path(path)
-    path.write_text(json.dumps(_wrap("WA", model.to_dict(),
-                                     model.provenance), indent=2))
-    return path
+def save_wa(model: WaModel, path: PathLike,
+            target: str = "store") -> Path:
+    return _save(_wrap("WA", model.to_dict(), model.provenance), path,
+                 target)
 
 
 def load_wa(path: PathLike) -> WaModel:

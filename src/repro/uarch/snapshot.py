@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.uarch.core import FunctionalCore
+from repro.utils import durable
 
 #: Page granularity of the content-addressed store.  Small enough that a
 #: single dirty element does not re-store a whole large array, large
@@ -43,6 +44,16 @@ SCALAR_TYPES = (int, float, bool, str, type(None))
 
 class SnapshotError(TypeError):
     """A state value cannot be captured in a snapshot."""
+
+
+class PageCorruption(RuntimeError):
+    """A page failed content verification (or vanished) on restore.
+
+    Raised instead of silently reassembling rotted state: the
+    fast-forward engine catches it, quarantines the affected snapshot
+    boundary and falls back to a shallower snapshot or a full replay
+    (see :meth:`repro.campaign.fastforward.SnapshotStore`).
+    """
 
 
 class PageStore:
@@ -76,9 +87,29 @@ class PageStore:
             keys.append(key)
         return keys
 
-    def get(self, keys: List[bytes]) -> bytes:
-        """Reassemble the byte string behind a page-key sequence."""
-        return b"".join(self._pages[key] for key in keys)
+    def get(self, keys: List[bytes], verify: bool = True) -> bytes:
+        """Reassemble the byte string behind a page-key sequence.
+
+        Content-addressing gives verification for free: every returned
+        page must hash back to its key.  A page that is missing or does
+        not verify (memory rot, or the chaos shim's injected page-rot)
+        raises :class:`PageCorruption` — corrupt state is *detected*,
+        never restored.  ``verify=False`` skips the hash for callers
+        that re-verify the assembled state at a higher level.
+        """
+        hook = durable.get_fault_hook()
+        chunks: List[bytes] = []
+        for key in keys:
+            page = self._pages.get(key)
+            if page is None:
+                raise PageCorruption(
+                    f"page {key.hex()} is missing from the store")
+            page = hook.filter_page(key, page)
+            if verify and hashlib.sha1(page).digest() != key:
+                raise PageCorruption(
+                    f"page {key.hex()} failed content verification")
+            chunks.append(page)
+        return b"".join(chunks)
 
     def stats(self) -> Dict[str, object]:
         saved = self.logical_bytes - self.stored_bytes

@@ -1,0 +1,115 @@
+"""Durable file IO: atomic writes, fsync discipline, fault-injection hook.
+
+Every artifact the campaign infrastructure persists — model-store JSON,
+ModelCache entries, run journals — funnels through this module, which
+gives them two properties:
+
+- **Crash consistency**: :func:`atomic_write_bytes` writes to a temp
+  file in the destination directory, fsyncs it, then ``os.replace``\\ s
+  over the target and fsyncs the directory, so a kill at any instant
+  leaves either the complete old artifact or the complete new one —
+  never a truncated hybrid.
+- **Testable failure**: all writes (and snapshot page reads, via
+  :meth:`FaultHook.filter_page`) pass through a process-global
+  :class:`FaultHook`.  The default hook is a no-op; the chaos subsystem
+  (:mod:`repro.chaos`) installs an injector that deterministically
+  tears, corrupts or fails selected IO — which is how the durability
+  claims above are *proved* rather than assumed (see
+  ``tests/chaos/``).
+
+The hook lives here, not in :mod:`repro.chaos`, so production modules
+depend only on :mod:`repro.utils` and the chaos package stays an
+optional, leaf dependency.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+PathLike = Union[str, Path]
+
+
+class FaultHook:
+    """Interception points for harness-level fault injection.
+
+    The base class is the no-op production behaviour; the chaos
+    subsystem subclasses it.  Contract of :meth:`filter_write`: the
+    returned bytes are what actually reaches the file, and the returned
+    exception (if any) is raised by the writer *after* those bytes land
+    — ``(partial_bytes, OSError)`` models a torn write, ``(all_bytes,
+    None)`` with altered bytes models silent bit-rot.
+    """
+
+    def filter_write(self, target: str, path: str,
+                     data: bytes) -> Tuple[bytes, Optional[BaseException]]:
+        """Possibly alter the bytes of one write to ``target``."""
+        return data, None
+
+    def filter_page(self, key: bytes, page: bytes) -> bytes:
+        """Possibly corrupt one content-addressed snapshot page read."""
+        return page
+
+    def on_journal_record(self, path: str) -> None:
+        """Called after every durable journal record (kill point)."""
+
+
+#: The production hook: does nothing, costs one attribute lookup.
+_NULL_HOOK = FaultHook()
+_HOOK: FaultHook = _NULL_HOOK
+
+
+def set_fault_hook(hook: Optional[FaultHook]) -> None:
+    """Install a process-global fault hook (None restores the no-op)."""
+    global _HOOK
+    _HOOK = hook if hook is not None else _NULL_HOOK
+
+
+def get_fault_hook() -> FaultHook:
+    return _HOOK
+
+
+def fsync_directory(path: PathLike) -> None:
+    """Best-effort fsync of a directory (persists a rename/creation)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem refuses dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes,
+                       target: str = "file") -> Path:
+    """Crash-consistent replacement of ``path`` with ``data``.
+
+    Temp file in the same directory (same filesystem, so ``os.replace``
+    is atomic), fsync before rename, directory fsync after.  On any
+    failure — including an injected one — the temp file is removed and
+    the destination is untouched.  ``target`` names the artifact class
+    for the fault hook ("store", "cache", ...).
+    """
+    path = Path(path)
+    written, failure = get_fault_hook().filter_write(target, str(path), data)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(written)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if failure is not None:
+            raise failure
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path.parent)
+    return path

@@ -132,12 +132,14 @@ def _canonical_journal(path):
 
     Pool workers complete out of order, so run lines are keyed and
     sorted; wall_ms is the only field allowed to differ between a
-    fast-forwarded and a full-replay campaign.
+    fast-forwarded and a full-replay campaign (the per-line crc covers
+    it, so it goes too).
     """
     meta, runs, cells, errors = None, [], [], []
     for line in path.read_text().splitlines():
         event = json.loads(line)
         kind = event.pop("type")
+        event.pop("crc", None)
         if kind == "meta":
             meta = event
         elif kind == "run":

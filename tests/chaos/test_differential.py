@@ -1,0 +1,189 @@
+"""THE chaos acceptance test: faulted campaign == fault-free campaign.
+
+A campaign executed under an aggressive fault plan — workers SIGKILLed
+pre-guest, journal appends torn and bit-rotted, snapshot pages rotting
+on restore — followed by a fault-free heal pass must be *bit-identical*
+to a fault-free campaign: same canonical journal, same outcome counts,
+same AVM, for workers in {1, 4} and fast-forward on and off.
+
+The in-process tests cover worker kills and IO faults with a direct
+executor + resume-heal; the subprocess test drives the real ``repro
+chaos`` supervisor including coordinator SIGKILLs mid-journal.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import chaos
+from repro.campaign.executor import CampaignExecutor, ExecutorConfig
+from repro.campaign.fastforward import FastForwardConfig
+from repro.campaign.journal import canonical_journal
+from repro.campaign.runner import CampaignRunner
+from repro.chaos import FaultPlan
+from repro.workloads import make_workload
+
+from tests.conftest import POINTS
+
+RUNS = 10
+BENCH = "kmeans"   # reconverges AND produces genuine SDCs at tiny scale
+
+#: Aggressive: ~40% of runs lose their worker (some twice), a third of
+#: journal appends tear, a fifth rot, and snapshot pages rot on restore.
+PLAN = FaultPlan(
+    seed=23,
+    worker_kill_rate=0.4,
+    max_worker_kills=2,        # == ExecutorConfig.max_retries: never abandons
+    fs_rates={
+        "journal": {"torn": 0.3, "bitrot": 0.2},
+        "page": {"bitrot": 0.3},
+    },
+)
+
+
+def _make_runner(fast_forward):
+    ff = (FastForwardConfig(interval=7) if fast_forward
+          else FastForwardConfig(enabled=False))
+    runner = CampaignRunner(make_workload(BENCH, scale="tiny", seed=11),
+                            seed=11, fastforward=ff)
+    runner.golden()
+    return runner
+
+
+def _campaign(runner, models, path, workers, resume=False):
+    config = ExecutorConfig(workers=workers, journal_path=str(path),
+                            resume=resume)
+    results = []
+    with CampaignExecutor(runner, config=config) as executor:
+        for model in models:
+            for point in POINTS:
+                results.append(executor.run_cell(model, point, runs=RUNS))
+    return results
+
+
+def _tables(results):
+    return {(r.model, r.point): (r.avm, dict(r.counts.counts))
+            for r in results}
+
+
+@pytest.fixture(scope="module")
+def models(wa_models, ia_model):
+    return [wa_models[BENCH], ia_model]
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory, models):
+    """One fault-free campaign; every chaos variant must match it."""
+    path = tmp_path_factory.mktemp("ref") / "journal.jsonl"
+    runner = _make_runner(fast_forward=False)
+    results = _campaign(runner, models, path, workers=1)
+    assert not any(r.degraded for r in results)
+    return {"canonical": canonical_journal(path),
+            "tables": _tables(results)}
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("fast_forward", [False, True],
+                         ids=["full-replay", "fast-forward"])
+def test_chaos_campaign_heals_bit_identical(tmp_path, models, reference,
+                                            workers, fast_forward):
+    path = tmp_path / "journal.jsonl"
+    runner = _make_runner(fast_forward)
+
+    injector = chaos.install(PLAN)
+    try:
+        chaos_results = _campaign(runner, models, path, workers=workers)
+        injected = dict(injector.stats)
+    finally:
+        chaos.uninstall()
+    # The plan must actually have drawn blood, or this test proves
+    # nothing.  IO faults fire in the coordinator (journal writes);
+    # worker SIGKILLs happen in forked children, visible to the parent
+    # as harness errors + restarts.
+    assert any(k.startswith("fs.journal") for k in injected), injected
+    assert sum(r.stats.harness_errors for r in chaos_results) > 0
+    assert sum(r.stats.worker_restarts for r in chaos_results) > 0
+
+    # Every run still completed (kills bounded by retries, IO-fault
+    # records kept in memory): the live results already match.
+    assert not any(r.degraded for r in chaos_results)
+    assert _tables(chaos_results) == reference["tables"]
+
+    # The on-disk journal lost/rotted lines; a fault-free heal pass
+    # (what `repro chaos` runs last) must repair it bit-identically.
+    heal_results = _campaign(runner, models, path, workers=workers,
+                             resume=True)
+    assert not any(r.degraded for r in heal_results)
+    assert _tables(heal_results) == reference["tables"]
+    assert canonical_journal(path) == reference["canonical"]
+
+
+def test_snapshot_corruption_quarantined_and_healed(tmp_path, models,
+                                                    reference):
+    """Concentrated page rot: every restore's first snapshot read rots.
+    The engine must quarantine, fall back (ultimately to cold starts)
+    and still produce the fault-free campaign bit-for-bit."""
+    path = tmp_path / "journal.jsonl"
+    runner = _make_runner(fast_forward=True)
+    plan = FaultPlan(seed=5, fs_rates={"page": {"bitrot": 1.0}})
+    injector = chaos.install(plan)
+    try:
+        results = _campaign(runner, models, path, workers=0)
+        injected = dict(injector.stats)
+    finally:
+        chaos.uninstall()
+    assert any(k.startswith("fs.page") for k in injected), injected
+    snapshots = runner.golden().snapshots
+    stats = snapshots.stats()
+    assert stats["corrupt_snapshots"] > 0
+    assert stats["quarantined"] > 0
+    assert not any(r.degraded for r in results)
+    assert _tables(results) == reference["tables"]
+    assert canonical_journal(path) == reference["canonical"]
+
+
+@pytest.mark.slow
+def test_supervised_cli_with_coordinator_kills(tmp_path, models):
+    """End to end through `repro chaos`: coordinator SIGKILLed twice
+    mid-journal, workers killed, journal torn — the supervisor restarts
+    and heals to a journal canonically identical to `repro campaign`'s."""
+    import repro
+
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + [p for p in (env.get("PYTHONPATH", ""),) if p])
+    common = ["hotspot", "--scale", "tiny", "--runs", "8", "--vr", "15",
+              "--seed", "7", "--workers", "2"]
+
+    ref_journal = tmp_path / "ref.jsonl"
+    rc = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", *common,
+         "--journal", str(ref_journal)],
+        env=env, capture_output=True, text=True).returncode
+    assert rc == 0
+
+    chaos_journal = tmp_path / "chaos.jsonl"
+    stats_path = tmp_path / "stats.jsonl"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "chaos",
+         "--plan-seed", "11", "--worker-kill-rate", "0.3",
+         "--max-worker-kills", "2", "--coordinator-kills", "3", "6",
+         "--fs-rate", "journal:torn=0.2",
+         "--fs-rate", "journal:bitrot=0.1",
+         "--stats", str(stats_path), "--",
+         *common, "--journal", str(chaos_journal)],
+        env=env, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "restart(s) after injected kills" in proc.stdout
+    assert "heal pass completed" in proc.stdout
+
+    assert canonical_journal(chaos_journal) == canonical_journal(
+        ref_journal)
+    # The stats artifact records what each incarnation injected.
+    lines = [json.loads(l) for l in
+             stats_path.read_text().splitlines()]
+    assert any("kills.coordinator" in l["stats"] for l in lines)

@@ -1,0 +1,130 @@
+"""Supervisor restart-loop tests against stub campaign scripts.
+
+Real campaigns are exercised end to end in ``test_differential``; here
+cheap subprocess stubs pin the loop mechanics — incarnation counting,
+``--resume`` injection, env shipping, give-up and real-error paths.
+"""
+
+import json
+import os
+import signal
+import sys
+
+from repro.chaos import FaultPlan, supervise
+from repro.chaos.supervisor import ENV_INCARNATION, ENV_PLAN, ENV_STATS
+
+#: Logs "<incarnation> <resumed> <plan?>" then SIGKILLs itself while the
+#: incarnation is below the value in argv[2] and a plan is shipped.
+_STUB = """
+import os, signal, sys
+inc = int(os.environ.get("{env_inc}", "-1"))
+plan = os.environ.get("{env_plan}", "")
+with open(sys.argv[1], "a") as fh:
+    fh.write(f"{{inc}} {{'--resume' in sys.argv}} {{bool(plan)}}\\n")
+if plan and inc < int(sys.argv[2]):
+    os.kill(os.getpid(), signal.SIGKILL)
+""".format(env_inc=ENV_INCARNATION, env_plan=ENV_PLAN)
+
+
+def _stub_argv(log, dies_below):
+    return [sys.executable, "-c", _STUB, str(log), str(dies_below)]
+
+
+def _log_lines(log):
+    return [tuple(line.split()) for line in
+            log.read_text().splitlines()]
+
+
+class TestRestartLoop:
+    def test_restarts_until_clean_then_heals(self, tmp_path):
+        log = tmp_path / "log"
+        result = supervise(_stub_argv(log, dies_below=2),
+                           FaultPlan(seed=1))
+        assert result.ok
+        assert result.incarnations == 3   # 0 and 1 died, 2 survived
+        assert result.restarts == 2
+        assert result.healed
+        assert result.exit_codes == [-signal.SIGKILL, -signal.SIGKILL,
+                                     0, 0]
+        lines = _log_lines(log)
+        # Incarnations 0..2 under the plan, then the chaos-free heal.
+        assert lines[0] == ("0", "False", "True")
+        assert lines[1] == ("1", "True", "True")
+        assert lines[2] == ("2", "True", "True")
+        assert lines[3] == ("-1", "True", "False")
+
+    def test_no_deaths_one_incarnation(self, tmp_path):
+        log = tmp_path / "log"
+        result = supervise(_stub_argv(log, dies_below=0),
+                           FaultPlan(seed=1))
+        assert result.ok
+        assert result.incarnations == 1
+        assert result.restarts == 0
+        assert result.healed
+
+    def test_heal_can_be_disabled(self, tmp_path):
+        log = tmp_path / "log"
+        result = supervise(_stub_argv(log, dies_below=0),
+                           FaultPlan(seed=1), heal=False)
+        assert result.ok
+        assert not result.healed
+        assert len(_log_lines(log)) == 1  # no heal invocation
+
+    def test_gives_up_after_max_restarts(self, tmp_path):
+        log = tmp_path / "log"
+        result = supervise(_stub_argv(log, dies_below=99),
+                           FaultPlan(seed=1), max_restarts=2)
+        assert not result.ok
+        assert result.exit_code == -signal.SIGKILL
+        assert result.restarts == 3       # the third death gives up
+        assert not result.healed
+
+    def test_real_error_not_masked_by_restarts(self, tmp_path):
+        argv = [sys.executable, "-c", "import sys; sys.exit(3)"]
+        result = supervise(argv, FaultPlan(seed=1))
+        assert not result.ok
+        assert result.exit_code == 3
+        assert result.restarts == 0
+        assert not result.healed
+
+    def test_plan_ships_via_environment(self, tmp_path):
+        probe = """
+import json, os, sys
+blob = os.environ["{env_plan}"]
+with open(sys.argv[1], "w") as fh:
+    fh.write(blob)
+""".format(env_plan=ENV_PLAN)
+        out = tmp_path / "plan.json"
+        plan = FaultPlan(seed=42, worker_kill_rate=0.5,
+                         coordinator_kills=(7,),
+                         fs_rates={"journal": {"torn": 0.25}})
+        supervise([sys.executable, "-c", probe, str(out)], plan,
+                  heal=False)
+        assert FaultPlan.from_dict(json.loads(out.read_text())) == plan
+
+    def test_stats_path_ships_via_environment(self, tmp_path):
+        probe = """
+import os, sys
+with open(sys.argv[1], "w") as fh:
+    fh.write(os.environ.get("{env_stats}", "unset"))
+""".format(env_stats=ENV_STATS)
+        out = tmp_path / "probe"
+        supervise([sys.executable, "-c", probe, str(out)],
+                  FaultPlan(seed=1), heal=False,
+                  stats_path=str(tmp_path / "stats.jsonl"))
+        assert out.read_text() == str(tmp_path / "stats.jsonl")
+
+    def test_outer_chaos_env_does_not_leak_in(self, tmp_path):
+        """A stale incarnation var in the caller's env must not survive
+        into supervised children (each incarnation sets its own)."""
+        probe = """
+import os, sys
+with open(sys.argv[1], "w") as fh:
+    fh.write(os.environ.get("{env_inc}", "unset"))
+""".format(env_inc=ENV_INCARNATION)
+        out = tmp_path / "probe"
+        env = dict(os.environ)
+        env[ENV_INCARNATION] = "77"
+        supervise([sys.executable, "-c", probe, str(out)],
+                  FaultPlan(seed=1), heal=False, env=env)
+        assert out.read_text() == "0"

@@ -4,8 +4,23 @@ Golden runs and DTA characterisation are deterministic and moderately
 expensive, so the suite builds them once per session at 'tiny' scale.
 """
 
+import os
+
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import settings as _hyp_settings
+
+    # Pinned profiles so property tests behave identically everywhere:
+    # CI derandomizes (no flaky shrink-dependent failures, no deadline
+    # variance on loaded runners); dev keeps random exploration but
+    # drops the wall-clock deadline, which misfires under -n auto.
+    _hyp_settings.register_profile("ci", deadline=None, derandomize=True)
+    _hyp_settings.register_profile("dev", deadline=None)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is an optional dep
+    pass
 
 from repro.campaign.runner import CampaignRunner
 from repro.circuit.liberty import NOMINAL, VR15, VR20

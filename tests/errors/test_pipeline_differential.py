@@ -162,11 +162,13 @@ class TestModelCache:
         profile = tiny_profiles["srad_v1"]
         cold = CharacterizationPipeline(self._config(tmp_path), fpu=fpu)
         first = cold.characterize_wa(profile, POINTS)
-        assert cold.cache.stats() == {"hit": 0, "miss": 1, "invalid": 0}
+        assert cold.cache.stats() == {"hit": 0, "miss": 1, "invalid": 0,
+                              "quarantined": 0, "store_errors": 0}
 
         warm = CharacterizationPipeline(self._config(tmp_path), fpu=fpu)
         second = warm.characterize_wa(profile, POINTS)
-        assert warm.cache.stats() == {"hit": 1, "miss": 0, "invalid": 0}
+        assert warm.cache.stats() == {"hit": 1, "miss": 0, "invalid": 0,
+                              "quarantined": 0, "store_errors": 0}
         assert_wa_equal(second, first)
         assert second.provenance is not None
         assert second.provenance.benchmark == profile.name
@@ -176,7 +178,9 @@ class TestModelCache:
         pipeline = CharacterizationPipeline(self._config(tmp_path), fpu=fpu)
         pipeline.characterize_wa(profile, POINTS)
         pipeline.characterize_wa(profile, POINTS, burst_window=16)
-        assert pipeline.cache.stats() == {"hit": 0, "miss": 2, "invalid": 0}
+        assert pipeline.cache.stats() == {
+            "hit": 0, "miss": 2, "invalid": 0,
+            "quarantined": 0, "store_errors": 0}
 
     def test_corrupted_entry_recomputed(self, fpu, tiny_profiles, tmp_path):
         profile = tiny_profiles["srad_v1"]
@@ -189,7 +193,9 @@ class TestModelCache:
         path.write_text("{ not json")
 
         again = pipeline.characterize_wa(profile, POINTS)
-        assert pipeline.cache.stats() == {"hit": 0, "miss": 1, "invalid": 1}
+        assert pipeline.cache.stats() == {
+            "hit": 0, "miss": 1, "invalid": 1,
+            "quarantined": 1, "store_errors": 0}
         assert_wa_equal(again, first)
         # The corrupt entry was rewritten atomically and now loads.
         assert store.load_wa(path).workload == profile.name
@@ -207,7 +213,9 @@ class TestModelCache:
         path.write_text(json.dumps(stale))
 
         again = pipeline.characterize_wa(profile, POINTS)
-        assert pipeline.cache.stats() == {"hit": 0, "miss": 1, "invalid": 1}
+        assert pipeline.cache.stats() == {
+            "hit": 0, "miss": 1, "invalid": 1,
+            "quarantined": 1, "store_errors": 0}
         assert_wa_equal(again, first)
 
     def test_no_cache_bypasses_directory(self, fpu, tiny_profiles,

@@ -23,7 +23,8 @@ class TestDaRoundtrip:
         path = store.save_da(DaModel({"VR15": 1e-3}), tmp_path / "da.json")
         data = json.loads(path.read_text())
         assert data["model"] == "DA"
-        assert data["format_version"] == 2
+        assert data["format_version"] == 3
+        assert data["checksum"].startswith("sha256:")
         assert data["provenance"] is None  # hand-built model
 
 
@@ -141,7 +142,7 @@ class TestProvenance:
 
     def test_future_version_rejected_with_hint(self, tmp_path):
         path = tmp_path / "future.json"
-        path.write_text(json.dumps({"format_version": 3, "model": "DA",
+        path.write_text(json.dumps({"format_version": 99, "model": "DA",
                                     "payload": {}}))
-        with pytest.raises(ValueError, match="supported: 1, 2"):
+        with pytest.raises(ValueError, match="supported: 1, 2, 3"):
             store.load_da(path)

@@ -3,8 +3,10 @@
 The committed fixtures under ``fixtures/`` pin the on-disk schema: a
 format change that silently alters or breaks old artifacts fails here
 first.  ``da_v1.json`` is a hand-written version-1 artifact (before the
-provenance block) and must keep loading; the ``*_v2.json`` files must
-survive a load -> save round trip byte-for-byte.
+provenance block), the ``*_v2.json`` files are version-2 artifacts
+(before the content checksum) — both must keep loading; the
+``*_v3.json`` files must survive a load -> save round trip
+byte-for-byte, and their checksums must catch tampering.
 """
 
 import json
@@ -25,8 +27,8 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 
 class TestGoldenArtifacts:
-    def test_da_v2_round_trips(self, tmp_path):
-        model = store.load_da(FIXTURES / "da_v2.json")
+    def test_da_v3_round_trips(self, tmp_path):
+        model = store.load_da(FIXTURES / "da_v3.json")
         assert model.fixed_error_ratios == {"VR15": 0.001, "VR20": 0.0125}
         assert model.injection_window == 512
         assert model.provenance.benchmark == "is+mg"
@@ -36,10 +38,10 @@ class TestGoldenArtifacts:
             "benchmark=is+mg, seed=7, samples=1000, points=VR15+VR20, "
             "trace=abababababab")
         saved = store.save_da(model, tmp_path / "again.json")
-        assert saved.read_text() == (FIXTURES / "da_v2.json").read_text()
+        assert saved.read_text() == (FIXTURES / "da_v3.json").read_text()
 
-    def test_ia_v2_round_trips(self, tmp_path):
-        model = store.load_ia(FIXTURES / "ia_v2.json")
+    def test_ia_v3_round_trips(self, tmp_path):
+        model = store.load_ia(FIXTURES / "ia_v3.json")
         st20 = model.stats["VR20"][FpOp.ADD_S]
         assert st20.error_ratio == 0.25
         assert st20.sample_size == 64
@@ -48,10 +50,10 @@ class TestGoldenArtifacts:
         assert model.stats["VR15"][FpOp.ADD_S].error_ratio == 0.0
         assert model.provenance.benchmark is None
         saved = store.save_ia(model, tmp_path / "again.json")
-        assert saved.read_text() == (FIXTURES / "ia_v2.json").read_text()
+        assert saved.read_text() == (FIXTURES / "ia_v3.json").read_text()
 
-    def test_wa_v2_round_trips(self, tmp_path):
-        model = store.load_wa(FIXTURES / "wa_v2.json")
+    def test_wa_v3_round_trips(self, tmp_path):
+        model = store.load_wa(FIXTURES / "wa_v3.json")
         assert model.workload == "toy"
         assert model.burst_window == 8
         assert model.faults["VR15"] == {}
@@ -62,7 +64,7 @@ class TestGoldenArtifacts:
         assert tf.analysed == 128
         assert model.provenance.trace_digest == "cd" * 32
         saved = store.save_wa(model, tmp_path / "again.json")
-        assert saved.read_text() == (FIXTURES / "wa_v2.json").read_text()
+        assert saved.read_text() == (FIXTURES / "wa_v3.json").read_text()
 
     def test_v1_artifact_still_loads_without_provenance(self):
         model = store.load_da(FIXTURES / "da_v1.json")
@@ -70,12 +72,38 @@ class TestGoldenArtifacts:
         assert model.injection_window == 1024
         assert model.provenance is None
 
+    @pytest.mark.parametrize("name", ["da_v2.json", "ia_v2.json",
+                                      "wa_v2.json"])
+    def test_v2_artifact_still_loads_without_checksum(self, name):
+        """Version-2 artifacts predate the checksum and must keep
+        loading unverified (there is nothing to verify against)."""
+        model = store.load_any(FIXTURES / name)
+        assert model is not None
+
     @pytest.mark.parametrize("name,kind", [
         ("da_v1.json", DaModel), ("da_v2.json", DaModel),
         ("ia_v2.json", IaModel), ("wa_v2.json", WaModel),
+        ("da_v3.json", DaModel), ("ia_v3.json", IaModel),
+        ("wa_v3.json", WaModel),
     ])
     def test_load_any_dispatches(self, name, kind):
         assert isinstance(store.load_any(FIXTURES / name), kind)
+
+    @pytest.mark.parametrize("name", ["da_v3.json", "ia_v3.json",
+                                      "wa_v3.json"])
+    def test_tampered_payload_rejected_by_checksum(self, name, tmp_path):
+        """Any payload edit that keeps the JSON valid must be caught."""
+        data = json.loads((FIXTURES / name).read_text())
+        blob = json.dumps(data["payload"])
+        assert "0.25" in blob or "0.001" in blob or "128" in blob
+        data["payload"] = json.loads(
+            blob.replace("0.25", "0.26").replace("0.001", "0.002")
+                .replace("128", "129"))
+        path = tmp_path / "tampered.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(store.ArtifactCorruption,
+                           match="checksum mismatch"):
+            store.load_any(path)
 
     def test_future_format_version_rejected(self, tmp_path):
         data = json.loads((FIXTURES / "da_v2.json").read_text())

@@ -123,3 +123,44 @@ class TestCli:
         code = bench_check.main(["--baseline", str(baseline),
                                  "--candidate", str(baseline)])
         assert code == 0
+
+
+def _journal_report(campaign_s, journal_s, fsync="group"):
+    report = _report()
+    report["phases"]["campaign"]["wall_s"] = campaign_s
+    report["phases"]["campaign_journal"] = {
+        "wall_s": journal_s, "per_benchmark": {"kmeans": journal_s}}
+    report["journal"] = {"fsync": fsync, "records": 100, "fsyncs": 3}
+    return report
+
+
+class TestJournalGate:
+    def test_overhead_within_budget_passes(self):
+        problems, notes = bench_check.check_journal(
+            _journal_report(10.0, 10.3), overhead_max=0.05,
+            overhead_floor_s=0.1)
+        assert not problems
+        assert any("within budget" in n for n in notes)
+
+    def test_overhead_past_budget_fails(self):
+        problems, _ = bench_check.check_journal(
+            _journal_report(10.0, 11.0, fsync="always"),
+            overhead_max=0.05, overhead_floor_s=0.1)
+        assert len(problems) == 1
+        assert "fsync=always" in problems[0]
+        assert "exceeds its budget" in problems[0]
+
+    def test_floor_absorbs_subsecond_noise(self):
+        """A 20% blip on a 0.4s campaign phase is scheduler noise, not a
+        journaling regression — the absolute floor lets it through."""
+        problems, notes = bench_check.check_journal(
+            _journal_report(0.4, 0.48), overhead_max=0.05,
+            overhead_floor_s=0.1)
+        assert not problems
+        assert any("within budget" in n for n in notes)
+
+    def test_missing_phase_skips_gate(self):
+        problems, notes = bench_check.check_journal(
+            _report(), overhead_max=0.05, overhead_floor_s=0.1)
+        assert not problems
+        assert any("skipped" in n for n in notes)
