@@ -12,6 +12,11 @@ Times the paper's two phases with telemetry enabled:
    content-addressed characterization pipeline (cold cache),
 5. *characterize_warm*: the pipeline again on the warm cache (every
    model is a cache hit; measures the near-zero-cost rerun),
+5b. *characterize_gate* / *characterize_bitparallel*: gate-level
+   characterisation of one shared random vector stream through the
+   event-driven reference and the levelized bit-parallel engine —
+   the wall ratio is the ``backend`` block's speedup and the verdicts
+   must agree exactly,
 6. *campaign*: a small injection campaign per benchmark through the
    fault-tolerant executor, full replay (snapshots off),
 7. *campaign_journal*: the identical campaign with a CRC-checksummed
@@ -56,7 +61,7 @@ from repro.campaign.executor import (                    # noqa: E402
 )
 from repro.campaign.fastforward import FastForwardConfig  # noqa: E402
 from repro.campaign.runner import CampaignRunner         # noqa: E402
-from repro.circuit.builder import build_adder, bus_values  # noqa: E402
+from repro.circuit.builder import build_adder            # noqa: E402
 from repro.circuit.dta import DynamicTimingAnalysis      # noqa: E402
 from repro.circuit.liberty import VR15, VR20             # noqa: E402
 from repro.circuit.sta import StaticTimingAnalysis       # noqa: E402
@@ -64,8 +69,10 @@ from repro.errors import (                               # noqa: E402
     CharacterizationPipeline,
     PipelineConfig,
     characterize_da,
+    characterize_gate,
     characterize_ia,
     characterize_wa,
+    random_vector_words,
 )
 from repro.fpu.unit import DEFAULT_DTA_BATCH             # noqa: E402
 from repro.utils.rng import RngStream                    # noqa: E402
@@ -77,11 +84,16 @@ from repro.workloads import make_workload                # noqa: E402
 #: campaign through the snapshot/fast-forward engine) and the
 #: fastforward block.  v4 adds the campaign_journal phase (the same
 #: campaign with the CRC-checksummed run journal attached) and the
-#: journal overhead block.
-SCHEMA_VERSION = 4
+#: journal overhead block.  v5 adds the characterize_gate /
+#: characterize_bitparallel phases (gate-level characterisation of the
+#: same vector stream through the event-driven reference and the
+#: bit-parallel engine) and the backend block (speedup + verdict
+#: equality).
+SCHEMA_VERSION = 5
 
 PHASES = ("golden", "characterize", "characterize_parallel",
-          "characterize_warm", "campaign", "campaign_journal",
+          "characterize_warm", "characterize_gate",
+          "characterize_bitparallel", "campaign", "campaign_journal",
           "campaign_fastforward")
 
 DEFAULT_BENCHMARKS = ("kmeans", "hotspot")
@@ -96,22 +108,66 @@ def _stat(snapshot, name):
 
 
 def bench_micro_dta(vectors: int, seed: int) -> dict:
-    """Gate-level DTA on a 16-bit adder: the eventsim-layer microbench."""
+    """Gate-level DTA on a 16-bit adder: the eventsim-layer microbench.
+
+    The vector stream is packed into per-net transition words once, up
+    front, and analysed through the batch API — the timed region holds
+    only engine work, no per-vector ``Dict[str, int]`` construction.
+    """
     netlist = build_adder(16)
     clock = StaticTimingAnalysis(netlist).critical_delay()
     dta = DynamicTimingAnalysis(netlist, clock_ps=clock, delay_factor=1.3)
     rng = RngStream(seed, "bench-micro")
-    stream = [
-        {**bus_values("a", 16, int(rng.integers(0, 1 << 16))),
-         **bus_values("b", 16, int(rng.integers(0, 1 << 16)))}
-        for _ in range(vectors + 1)
-    ]
+    words = random_vector_words(netlist, vectors + 1, rng)
+    window = (1 << vectors) - 1
+    prev_words = [w & window for w in words]
+    cur_words = [w >> 1 for w in words]
     start = time.perf_counter()
-    outcomes = dta.analyze_sequence(stream)
+    outcome = dta.analyze_batch(prev_words, cur_words, count=vectors)
     wall = time.perf_counter() - start
-    faulty = sum(1 for o in outcomes if o.faulty)
-    return {"wall_s": wall, "transitions": len(outcomes),
-            "faulty": faulty, "clock_ps": clock}
+    return {"wall_s": wall, "transitions": len(outcome),
+            "faulty": outcome.error_count, "clock_ps": clock}
+
+
+def bench_gate_backends(samples: int, seed: int, phases: dict) -> dict:
+    """Gate-level characterisation, event vs bit-parallel, same stream.
+
+    Both engines consume the byte-identical packed vector stream (same
+    netlist, seed, clock and delay factor), so the wall-time ratio is a
+    pure engine speedup and the verdicts must agree exactly — the
+    equality bit lands in the emitted block and is gated in CI via
+    ``bench.py --validate``.
+    """
+    netlist = build_adder(16)
+    clock = StaticTimingAnalysis(netlist).critical_delay()
+    results = {}
+    for backend in ("event", "bitparallel"):
+        start = time.perf_counter()
+        results[backend] = characterize_gate(
+            netlist, clock_ps=clock, delay_factor=1.3,
+            samples=samples, seed=seed, backend=backend)
+        wall = time.perf_counter() - start
+        phase = ("characterize_gate" if backend == "event"
+                 else "characterize_bitparallel")
+        phases[phase]["wall_s"] = wall
+        phases[phase]["per_benchmark"]["adder16"] = wall
+    event, bitparallel = results["event"], results["bitparallel"]
+    event_wall = phases["characterize_gate"]["wall_s"]
+    bp_wall = phases["characterize_bitparallel"]["wall_s"]
+    return {
+        "netlist": netlist.name,
+        "samples": samples,
+        "clock_ps": clock,
+        "delay_factor": 1.3,
+        "event_wall_s": event_wall,
+        "bitparallel_wall_s": bp_wall,
+        "speedup": (event_wall / bp_wall) if bp_wall > 0 else None,
+        "verdicts_equal": bool(
+            event.faulty == bitparallel.faulty
+            and (event.bit_counts == bitparallel.bit_counts).all()
+        ),
+        "faulty": int(event.faulty),
+    }
 
 
 def _characterize_models(args, profiles, points, phase: dict,
@@ -150,6 +206,8 @@ def bench_pipeline(args) -> dict:
               for name in PHASES}
 
     micro = bench_micro_dta(args.micro_vectors, args.seed)
+    backend_block = bench_gate_backends(args.gate_samples, args.seed,
+                                        phases)
 
     # Full-replay reference runners: the golden and campaign phases keep
     # their historical (snapshots-off) meaning.
@@ -335,6 +393,12 @@ def bench_pipeline(args) -> dict:
             "batches": int(counters.get("fpu.dta.batches", 0)),
             "vectors": int(counters.get("fpu.dta.vectors", 0)),
         },
+        "bitsim": {
+            "wall_s": phases["characterize_bitparallel"]["wall_s"],
+            "batches": int(counters.get("bitsim.batches", 0)),
+            "lanes": int(counters.get("bitsim.lanes", 0)),
+            "gate_evals": int(counters.get("bitsim.gate_evals", 0)),
+        },
         "executor": {
             "wall_s": _stat(snapshot, "campaign.cell")["total"],
             "cells": int(counters.get("campaign.cells", 0)),
@@ -354,6 +418,7 @@ def bench_pipeline(args) -> dict:
             "samples": args.samples,
             "ia_samples": args.ia_samples,
             "micro_vectors": args.micro_vectors,
+            "gate_samples": args.gate_samples,
             "workers": args.workers,
             "pipeline_workers": args.pipeline_workers,
             "benchmarks": list(args.benchmarks),
@@ -364,6 +429,7 @@ def bench_pipeline(args) -> dict:
         },
         "micro_dta": micro,
         "phases": phases,
+        "backend": backend_block,
         "pipeline": pipeline_block,
         "journal": journal_block,
         "fastforward": fastforward_block,
@@ -401,6 +467,19 @@ def validate(data) -> list:
             problems.append(f"$.phases.{phase}.wall_s is negative")
         need(entry, "per_benchmark", dict, f"$.phases.{phase}")
 
+    backend = need(data, "backend", dict, "$") or {}
+    need(backend, "netlist", str, "$.backend")
+    need(backend, "samples", int, "$.backend")
+    bp_speedup = need(backend, "speedup", (int, float), "$.backend")
+    if bp_speedup is not None and bp_speedup <= 0:
+        problems.append("$.backend.speedup is not positive")
+    equal = need(backend, "verdicts_equal", bool, "$.backend")
+    if equal is False:
+        problems.append("$.backend.verdicts_equal is false: the "
+                        "bit-parallel engine diverged from the event "
+                        "reference on the shared vector stream")
+    need(backend, "faulty", int, "$.backend")
+
     pipeline = need(data, "pipeline", dict, "$") or {}
     need(pipeline, "workers", int, "$.pipeline")
     need(pipeline, "chunk", int, "$.pipeline")
@@ -429,13 +508,15 @@ def validate(data) -> list:
     need(fastforward, "stores", list, "$.fastforward")
 
     layers = need(data, "layers", dict, "$") or {}
-    for layer in ("eventsim", "dta", "executor"):
+    for layer in ("eventsim", "dta", "bitsim", "executor"):
         entry = need(layers, layer, dict, "$.layers") or {}
         need(entry, "wall_s", (int, float), f"$.layers.{layer}")
     for key in ("simulations", "events"):
         need(layers.get("eventsim", {}), key, int, "$.layers.eventsim")
     for key in ("batches", "vectors"):
         need(layers.get("dta", {}), key, int, "$.layers.dta")
+    for key in ("batches", "lanes", "gate_evals"):
+        need(layers.get("bitsim", {}), key, int, "$.layers.bitsim")
     for key in ("cells", "runs"):
         need(layers.get("executor", {}), key, int, "$.layers.executor")
 
@@ -464,6 +545,10 @@ def main(argv=None) -> int:
                              "the DTA work dominates the phase)")
     parser.add_argument("--micro-vectors", type=int, default=64,
                         help="gate-level DTA transitions in the microbench")
+    parser.add_argument("--gate-samples", type=int, default=2048,
+                        help="vector transitions in the gate-backend "
+                             "comparison (event vs bit-parallel on the "
+                             "identical stream)")
     parser.add_argument("--workers", type=int, default=0,
                         help="executor worker processes (0 = serial)")
     parser.add_argument("--pipeline-workers", type=int, default=4,
@@ -520,6 +605,10 @@ def main(argv=None) -> int:
           f"({data['micro_dta']['transitions']} transitions)")
     for phase in PHASES:
         print(f"  {phase:<21}: {data['phases'][phase]['wall_s']:8.3f}s")
+    backend = data["backend"]
+    print(f"  bitsim speedup        : {backend['speedup']:.2f}x "
+          f"({backend['samples']} transitions on {backend['netlist']}, "
+          f"verdicts {'equal' if backend['verdicts_equal'] else 'DIVERGED'})")
     pipe = data["pipeline"]
     print(f"  pipeline speedup      : {pipe['speedup']:.2f}x "
           f"(workers={pipe['workers']}, chunk={pipe['chunk']})")
@@ -535,7 +624,7 @@ def main(argv=None) -> int:
           f"(interval={ff['interval']}, {ff['restores']} restores, "
           f"{ff['early_exits']} early exits, "
           f"{ff['ops_skipped']} ops skipped)")
-    for layer in ("eventsim", "dta", "executor"):
+    for layer in ("eventsim", "dta", "bitsim", "executor"):
         print(f"  [{layer}] {data['layers'][layer]['wall_s']:8.3f}s")
     return 0
 

@@ -32,6 +32,13 @@ CRC-checksummed run journal attached) may cost at most
 small absolute floor for noise) — keeping the crash-consistency tax of
 the default group-commit fsync policy honest.  Reports without the
 phase skip the gate.
+
+Schema v5 reports also gate the bit-parallel gate-level engine on the
+candidate alone: the characterize_bitparallel phase must beat the
+characterize_gate (event-driven reference) phase by
+``--bitsim-speedup-min`` on the byte-identical vector stream, and the
+two engines' verdicts must agree exactly.  Reports without the phases
+skip the gate.
 """
 
 import argparse
@@ -220,6 +227,43 @@ def check_journal(candidate: dict, overhead_max: float,
     return problems, notes
 
 
+def check_bitsim(candidate: dict, speedup_min: float):
+    """Candidate-only bit-parallel engine gate; ``(problems, notes)``.
+
+    The characterize_gate and characterize_bitparallel phases analyse
+    the byte-identical packed vector stream through the event-driven
+    reference and the levelized bit-parallel engine, so their wall-time
+    ratio is a pure engine speedup — and any verdict divergence between
+    the two is a correctness failure, never acceptable noise.
+    """
+    problems = []
+    notes = []
+    phases = candidate.get("phases") or {}
+    event = (phases.get("characterize_gate") or {}).get("wall_s")
+    fast = (phases.get("characterize_bitparallel") or {}).get("wall_s")
+    if event is None or fast is None:
+        notes.append("bitsim gate skipped: no characterize_bitparallel "
+                     "phase in candidate")
+        return problems, notes
+    backend = candidate.get("backend") or {}
+    if backend.get("verdicts_equal") is False:
+        problems.append(
+            "bit-parallel verdicts diverged from the event reference on "
+            "the shared vector stream (backend.verdicts_equal is false)")
+    speedup = backend.get("speedup")
+    if speedup is None:
+        speedup = event / fast if fast > 0 else float("inf")
+    if speedup < speedup_min:
+        problems.append(
+            f"bit-parallel speedup {speedup:.2f}x is below the "
+            f"{speedup_min:.2f}x gate (event {event:.3f}s vs "
+            f"bit-parallel {fast:.3f}s)")
+    else:
+        notes.append(f"bit-parallel speedup {speedup:.2f}x "
+                     f"(gate: >= {speedup_min:.2f}x)")
+    return problems, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate a fresh pipeline benchmark against the "
@@ -257,6 +301,10 @@ def main(argv=None) -> int:
                         help="absolute floor of the journal overhead "
                              "budget (noise guard for sub-second "
                              "campaign phases)")
+    parser.add_argument("--bitsim-speedup-min", type=float, default=8.0,
+                        help="required characterize_gate/"
+                             "characterize_bitparallel speedup in the "
+                             "candidate (default 8.0)")
     args = parser.parse_args(argv)
 
     try:
@@ -286,8 +334,10 @@ def main(argv=None) -> int:
     journal_problems, journal_notes = check_journal(
         candidate, args.journal_overhead_max,
         args.journal_overhead_floor_seconds)
-    pipeline_problems += ff_problems + journal_problems
-    pipeline_notes += ff_notes + journal_notes
+    bitsim_problems, bitsim_notes = check_bitsim(
+        candidate, args.bitsim_speedup_min)
+    pipeline_problems += ff_problems + journal_problems + bitsim_problems
+    pipeline_notes += ff_notes + journal_notes + bitsim_notes
     for note in pipeline_notes:
         print(f"bench_check: {note}")
     failed = False

@@ -11,7 +11,9 @@ behaviour-relevant equivalents:
 - :mod:`repro.circuit.sdf` — interconnect delay annotation (place & route),
 - :mod:`repro.circuit.sta` — static timing analysis (Eq. 1 of the paper),
 - :mod:`repro.circuit.eventsim` — event-driven gate-level timing simulation,
-- :mod:`repro.circuit.dta` — dynamic timing analysis (Section III.A.1).
+- :mod:`repro.circuit.dta` — dynamic timing analysis (Section III.A.1),
+- :mod:`repro.circuit.backend` — batch-first :class:`TimingBackend` protocol,
+- :mod:`repro.circuit.bitsim` — levelized bit-parallel batch DTA engine.
 """
 
 from repro.circuit.cells import Cell, CellLibrary, default_library
@@ -22,6 +24,17 @@ from repro.circuit.sdf import annotate_interconnect
 from repro.circuit.sta import StaticTimingAnalysis, TimingPath
 from repro.circuit.eventsim import EventSimulator, SimulationResult
 from repro.circuit.dta import DynamicTimingAnalysis, DtaOutcome
+from repro.circuit.backend import (
+    TIMING_BACKENDS,
+    DEFAULT_TIMING_BACKEND,
+    BatchOutcome,
+    TimingBackend,
+    make_timing_backend,
+    pack_input_words,
+    stream_words,
+    unpack_input_words,
+)
+from repro.circuit.bitsim import BitParallelSimulator, BitParallelTimingAnalysis
 
 __all__ = [
     "Cell",
@@ -42,4 +55,14 @@ __all__ = [
     "SimulationResult",
     "DynamicTimingAnalysis",
     "DtaOutcome",
+    "TIMING_BACKENDS",
+    "DEFAULT_TIMING_BACKEND",
+    "BatchOutcome",
+    "TimingBackend",
+    "make_timing_backend",
+    "pack_input_words",
+    "stream_words",
+    "unpack_input_words",
+    "BitParallelSimulator",
+    "BitParallelTimingAnalysis",
 ]

@@ -1,0 +1,210 @@
+"""Batch-first timing-backend API.
+
+This module defines the engine-neutral surface of dynamic timing
+analysis: a :class:`TimingBackend` runs *batches* of back-to-back input
+transitions and reports per-lane verdicts as a :class:`BatchOutcome`.
+Two engines implement it:
+
+- ``event`` — :class:`repro.circuit.dta.DynamicTimingAnalysis`, the
+  event-driven reference (bit- and picosecond-exact, one lane at a time),
+- ``bitparallel`` — :class:`repro.circuit.bitsim.BitParallelTimingAnalysis`,
+  the levelized bit-parallel engine (64 lanes per machine word, numpy
+  words for wider batches) with verdicts bit-identical to the reference.
+
+Lane encoding: a *word* is a Python int carrying one bit per batch lane
+(bit ``j`` = lane ``j``).  A batch input is one word per primary input
+net, in ``netlist.inputs`` order, so lane ``j`` of the batch is the
+vector ``{net_i: (words[i] >> j) & 1}``.  :func:`pack_input_words` /
+:func:`unpack_input_words` convert between word form and the legacy
+per-vector dict form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.circuit.netlist import Netlist
+from repro import telemetry
+
+#: Names accepted by :func:`make_timing_backend` (and ``--timing-backend``).
+TIMING_BACKENDS: Tuple[str, ...] = ("event", "bitparallel")
+
+DEFAULT_TIMING_BACKEND = "event"
+
+
+def pack_input_words(netlist: Netlist,
+                     vectors: Sequence[Dict[str, int]]) -> List[int]:
+    """Pack per-vector input dicts into one lane-word per input net.
+
+    Word ``i`` holds, at bit ``j``, the value of input net
+    ``netlist.inputs[i]`` in ``vectors[j]``.
+    """
+    words = [0] * len(netlist.inputs)
+    for j, vector in enumerate(vectors):
+        bit = 1 << j
+        for i, net in enumerate(netlist.inputs):
+            if net not in vector:
+                raise ValueError(f"missing value for input net {net!r}")
+            if vector[net] & 1:
+                words[i] |= bit
+    return words
+
+
+def unpack_input_words(netlist: Netlist, words: Sequence[int],
+                       count: int) -> List[Dict[str, int]]:
+    """Inverse of :func:`pack_input_words`: words back to per-lane dicts."""
+    if len(words) != len(netlist.inputs):
+        raise ValueError(
+            f"expected {len(netlist.inputs)} input words, got {len(words)}"
+        )
+    return [
+        {net: (words[i] >> j) & 1 for i, net in enumerate(netlist.inputs)}
+        for j in range(count)
+    ]
+
+
+def stream_words(netlist: Netlist,
+                 vectors: Sequence[Dict[str, int]]) -> Tuple[List[int], List[int], int]:
+    """Pack a back-to-back vector stream into (prev, cur) batch words.
+
+    A stream of ``n + 1`` vectors yields ``n`` transition lanes: lane
+    ``j`` is the transition ``vectors[j] -> vectors[j + 1]``.  Returns
+    ``(prev_words, cur_words, n)``.
+    """
+    count = len(vectors) - 1
+    if count < 1:
+        return [0] * len(netlist.inputs), [0] * len(netlist.inputs), 0
+    full = pack_input_words(netlist, vectors)
+    mask = (1 << count) - 1
+    prev = [w & mask for w in full]
+    cur = [w >> 1 for w in full]
+    return prev, cur, count
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Per-lane DTA verdicts for one batch of input transitions.
+
+    ``golden``/``sampled``/``bitmask`` are per-lane packed output words
+    (bit ``i`` = primary output ``outputs[i]``), exactly the fields of
+    :class:`repro.circuit.dta.DtaOutcome` for that lane.
+    ``worst_settle_ps`` is the per-lane latest settling time of the
+    *final output waveform* (zero-width hazard pulses excluded — see
+    DESIGN.md section 12 for how this relates to the event engine's
+    hazard-inclusive settle bookkeeping).
+    """
+
+    outputs: Tuple[str, ...]
+    golden: Tuple[int, ...]
+    sampled: Tuple[int, ...]
+    bitmask: Tuple[int, ...]
+    worst_settle_ps: Tuple[float, ...]
+
+    def __len__(self) -> int:
+        return len(self.golden)
+
+    @property
+    def faulty(self) -> Tuple[bool, ...]:
+        return tuple(mask != 0 for mask in self.bitmask)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for mask in self.bitmask if mask)
+
+    def error_ratio(self) -> float:
+        if not self.golden:
+            raise ValueError("empty batch has no error ratio")
+        return self.error_count / len(self.golden)
+
+    def outcome(self, lane: int):
+        """The lane's verdict as a legacy :class:`DtaOutcome`."""
+        from repro.circuit.dta import DtaOutcome
+
+        return DtaOutcome(
+            golden=self.golden[lane],
+            sampled=self.sampled[lane],
+            bitmask=self.bitmask[lane],
+            worst_settle_ps=self.worst_settle_ps[lane],
+        )
+
+    def outcomes(self) -> List:
+        return [self.outcome(j) for j in range(len(self.golden))]
+
+
+@runtime_checkable
+class TimingBackend(Protocol):
+    """Engine-neutral DTA interface; ``analyze_batch`` is the hot path."""
+
+    name: str
+    netlist: Netlist
+    clock_ps: float
+    delay_factor: float
+
+    def analyze_batch(self, prev_words: Sequence[int],
+                      cur_words: Sequence[int], *,
+                      count: int) -> BatchOutcome:
+        """DTA for ``count`` lanes of back-to-back input transitions."""
+        ...  # pragma: no cover - protocol
+
+
+class BatchTimingMixin:
+    """Legacy per-pair surface expressed over ``analyze_batch``.
+
+    Both engines inherit these wrappers so migrated and unmigrated
+    callers observe identical verdicts regardless of entry point.
+    """
+
+    def analyze_transition(self, previous: Dict[str, int],
+                           current: Dict[str, int]):
+        """DTA for a single back-to-back input pair.
+
+        .. deprecated:: delegates to :meth:`analyze_batch` with a batch
+           of one; new code should pack transitions into lane words and
+           call the batch API directly.
+        """
+        prev_w = pack_input_words(self.netlist, [previous])
+        cur_w = pack_input_words(self.netlist, [current])
+        return self.analyze_batch(prev_w, cur_w, count=1).outcome(0)
+
+    def analyze_sequence(self, vectors: Sequence[Dict[str, int]]) -> List:
+        """DTA over a stream of input vectors applied back-to-back.
+
+        The first vector only initialises the circuit state (no outcome
+        is emitted for it), matching the paper's per-cycle model where
+        each instruction's timing depends on the previous circuit state.
+
+        .. deprecated:: delegates to one :meth:`analyze_batch` call over
+           the packed stream; new code should use the batch API.
+        """
+        with telemetry.span("dta.sequence", netlist=self.netlist.name,
+                            vectors=len(vectors)):
+            prev, cur, count = stream_words(self.netlist, vectors)
+            if count == 0:
+                return []
+            return self.analyze_batch(prev, cur, count=count).outcomes()
+
+    def error_ratio(self, vectors: Sequence[Dict[str, int]]) -> float:
+        """Eq. 2 over a vector stream: faulty / total transitions."""
+        outcomes = self.analyze_sequence(vectors)
+        if not outcomes:
+            raise ValueError("need at least two vectors for a transition")
+        return sum(1 for o in outcomes if o.faulty) / len(outcomes)
+
+
+def make_timing_backend(name: str, netlist: Netlist, clock_ps: float,
+                        delay_factor: float) -> TimingBackend:
+    """Instantiate a registered timing backend by name."""
+    if name == "event":
+        from repro.circuit.dta import DynamicTimingAnalysis
+
+        return DynamicTimingAnalysis(netlist, clock_ps=clock_ps,
+                                     delay_factor=delay_factor)
+    if name == "bitparallel":
+        from repro.circuit.bitsim import BitParallelTimingAnalysis
+
+        return BitParallelTimingAnalysis(netlist, clock_ps=clock_ps,
+                                         delay_factor=delay_factor)
+    raise ValueError(
+        f"unknown timing backend {name!r}; expected one of {TIMING_BACKENDS}"
+    )

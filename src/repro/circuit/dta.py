@@ -6,13 +6,25 @@ event-driven simulation at nominal delays and one at voltage-scaled
 value; the scaled instance is sampled at the clock edge and XOR-compared
 bit-by-bit against the golden output, yielding the per-instruction error
 *bitmask* that drives injection.
+
+:class:`DynamicTimingAnalysis` is the ``event`` timing backend: the
+bit-exact reference implementation of the batch-first
+:class:`~repro.circuit.backend.TimingBackend` protocol.  It analyses one
+lane at a time internally; the levelized bit-parallel engine in
+:mod:`repro.circuit.bitsim` produces identical verdicts at a fraction of
+the cost and should be preferred on hot paths.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
+from repro.circuit.backend import (
+    BatchOutcome,
+    BatchTimingMixin,
+    unpack_input_words,
+)
 from repro.circuit.eventsim import EventSimulator
 from repro.circuit.netlist import Netlist
 from repro import telemetry
@@ -41,8 +53,15 @@ class DtaOutcome:
         return bin(self.bitmask).count("1")
 
 
-class DynamicTimingAnalysis:
-    """Two-instance DTA over a netlist at a fixed clock and delay factor."""
+class DynamicTimingAnalysis(BatchTimingMixin):
+    """Two-instance DTA over a netlist at a fixed clock and delay factor.
+
+    This is the ``event`` backend: each lane of a batch runs through the
+    event-driven simulator independently, making it the ground truth the
+    bit-parallel backend is differentially tested against.
+    """
+
+    name = "event"
 
     def __init__(self, netlist: Netlist, clock_ps: float,
                  delay_factor: float):
@@ -67,9 +86,9 @@ class DynamicTimingAnalysis:
                 word |= 1 << i
         return word
 
-    def analyze_transition(self, previous: Dict[str, int],
-                           current: Dict[str, int]) -> DtaOutcome:
-        """DTA for a single back-to-back input pair."""
+    def _analyze_pair(self, previous: Dict[str, int],
+                      current: Dict[str, int]) -> DtaOutcome:
+        """One lane through the two-instance event simulation."""
         golden_values = self._nominal.settle(current)
         golden = self._pack(golden_values)
 
@@ -87,28 +106,25 @@ class DynamicTimingAnalysis:
             worst_settle_ps=worst,
         )
 
-    def analyze_sequence(
-        self, vectors: Sequence[Dict[str, int]]
-    ) -> List[DtaOutcome]:
-        """DTA over a stream of input vectors applied back-to-back.
+    def analyze_batch(self, prev_words: Sequence[int],
+                      cur_words: Sequence[int], *,
+                      count: int) -> BatchOutcome:
+        """DTA verdicts for ``count`` lanes of back-to-back transitions.
 
-        The first vector only initialises the circuit state (no outcome is
-        emitted for it), matching the paper's per-cycle model where each
-        instruction's timing depends on the previous circuit state.
+        Reference semantics: lanes are simulated one at a time through
+        the event engine, so a batch is exactly equivalent to ``count``
+        legacy ``analyze_transition`` calls.
         """
-        outcomes: List[DtaOutcome] = []
-        with telemetry.span("dta.sequence", netlist=self.netlist.name,
-                            vectors=len(vectors)):
-            for previous, current in zip(vectors, vectors[1:]):
-                outcomes.append(self.analyze_transition(previous, current))
-        return outcomes
-
-    def error_ratio(self, vectors: Sequence[Dict[str, int]]) -> float:
-        """Eq. 2 over a vector stream: faulty / total transitions."""
-        outcomes = self.analyze_sequence(vectors)
-        if not outcomes:
-            raise ValueError("need at least two vectors for a transition")
-        return sum(1 for o in outcomes if o.faulty) / len(outcomes)
+        previous = unpack_input_words(self.netlist, prev_words, count)
+        current = unpack_input_words(self.netlist, cur_words, count)
+        lanes = [self._analyze_pair(p, c) for p, c in zip(previous, current)]
+        return BatchOutcome(
+            outputs=tuple(self._outputs),
+            golden=tuple(o.golden for o in lanes),
+            sampled=tuple(o.sampled for o in lanes),
+            bitmask=tuple(o.bitmask for o in lanes),
+            worst_settle_ps=tuple(o.worst_settle_ps for o in lanes),
+        )
 
     def verify_nominal(self, previous: Dict[str, int],
                        current: Dict[str, int]) -> bool:

@@ -23,10 +23,13 @@ from repro.errors.da import DaModel
 from repro.errors.ia import IaModel
 from repro.errors.wa import WaModel
 from repro.errors.characterize import (
+    GateCharacterization,
     characterize_da,
+    characterize_gate,
     characterize_ia,
     characterize_wa,
     random_operands,
+    random_vector_words,
 )
 from repro.errors.pipeline import (
     CharacterizationPipeline,
@@ -51,8 +54,11 @@ __all__ = [
     "DaModel",
     "IaModel",
     "WaModel",
+    "GateCharacterization",
     "characterize_da",
+    "characterize_gate",
     "characterize_ia",
     "characterize_wa",
     "random_operands",
+    "random_vector_words",
 ]

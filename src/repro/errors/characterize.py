@@ -12,11 +12,18 @@ operands they feed it (the point of the paper):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.circuit.backend import (
+    DEFAULT_TIMING_BACKEND,
+    TimingBackend,
+    make_timing_backend,
+)
 from repro.circuit.liberty import OperatingPoint
+from repro.circuit.netlist import Netlist
 from repro.errors.base import Provenance, WorkloadProfile
 from repro.errors.da import DaModel
 from repro.errors.ia import IaModel, InstructionStats
@@ -66,6 +73,111 @@ def random_operands(op: FpOp, n: int, rng: RngStream,
         return a, None
     values_b = rng.generator.uniform(-magnitude, magnitude, size=n)
     return a, ops.values_to_bits(op, values_b)
+
+
+def random_vector_words(netlist: Netlist, count: int,
+                        rng: RngStream) -> List[int]:
+    """Uniform random input stream for ``netlist`` as batch lane words.
+
+    Returns one word per input net (``netlist.inputs`` order); bit ``j``
+    of word ``i`` is input ``i``'s value in stream position ``j``.  The
+    stream is generated directly in lane form — no per-vector dicts —
+    and depends only on (netlist input order, count, rng state), never
+    on which timing backend consumes it.
+    """
+    words: List[int] = []
+    for _ in netlist.inputs:
+        bits = rng.integers(0, 2, size=count).astype(np.uint8)
+        packed = np.packbits(bits, bitorder="little")
+        words.append(int.from_bytes(packed.tobytes(), "little"))
+    return words
+
+
+@dataclass(frozen=True)
+class GateCharacterization:
+    """Gate-level DTA error statistics for one netlist + operating point.
+
+    The gate-level analogue of an IA row: error ratio and per-output-bit
+    flip counts over a uniform random back-to-back vector stream, as
+    produced by either timing backend (verdicts are backend-invariant).
+    """
+
+    netlist: str
+    backend: str
+    clock_ps: float
+    delay_factor: float
+    analysed: int
+    faulty: int
+    bit_counts: np.ndarray
+    worst_settle_ps: float
+
+    @property
+    def error_ratio(self) -> float:
+        """Eq. 2 over the analysed stream: faulty / total transitions."""
+        return self.faulty / self.analysed if self.analysed else 0.0
+
+
+@telemetry.timed("characterize.gate")
+def characterize_gate(netlist: Netlist, clock_ps: float,
+                      delay_factor: float,
+                      samples: int = 4096, seed: int = 2021,
+                      backend: Union[str, TimingBackend] = DEFAULT_TIMING_BACKEND,
+                      lanes: int = 256) -> GateCharacterization:
+    """Gate-level DTA characterisation over a random vector stream.
+
+    Streams ``samples`` back-to-back transitions through the selected
+    :class:`~repro.circuit.backend.TimingBackend` in batches of at most
+    ``lanes`` lanes.  The whole path works on packed lane words — the
+    operand stream is generated, sliced and analysed without ever
+    constructing a per-vector ``Dict[str, int]`` — and the stream itself
+    is backend-independent, so ``event`` and ``bitparallel`` runs see
+    byte-identical inputs (the differential bench relies on this).
+    """
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    if isinstance(backend, str):
+        engine = make_timing_backend(backend, netlist, clock_ps=clock_ps,
+                                     delay_factor=delay_factor)
+    else:
+        engine = backend
+    rng = RngStream(seed, f"gate-characterization/{netlist.name}")
+    stream = random_vector_words(netlist, samples + 1, rng)
+
+    width = len(netlist.outputs)
+    faulty = 0
+    counts = np.zeros(width, dtype=np.int64)
+    worst = 0.0
+    for lo in range(0, samples, lanes):
+        hi = min(lo + lanes, samples)
+        window = (1 << (hi - lo)) - 1
+        prev = [(w >> lo) & window for w in stream]
+        cur = [(w >> (lo + 1)) & window for w in stream]
+        outcome = engine.analyze_batch(prev, cur, count=hi - lo)
+        faulty += outcome.error_count
+        if width <= 64:
+            masks = np.asarray(outcome.bitmask, dtype=np.uint64)
+            counts += _per_bit_counts(masks[masks != 0], width)
+        else:
+            for mask in outcome.bitmask:
+                while mask:
+                    low = mask & -mask
+                    counts[low.bit_length() - 1] += 1
+                    mask ^= low
+        if outcome.worst_settle_ps:
+            worst = max(worst, max(outcome.worst_settle_ps))
+    telemetry.count("characterize.gate.samples", samples)
+    return GateCharacterization(
+        netlist=netlist.name,
+        backend=engine.name,
+        clock_ps=clock_ps,
+        delay_factor=delay_factor,
+        analysed=samples,
+        faulty=faulty,
+        bit_counts=counts,
+        worst_settle_ps=worst,
+    )
 
 
 def _per_bit_counts(masks: np.ndarray, width: int) -> np.ndarray:

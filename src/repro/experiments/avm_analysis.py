@@ -40,6 +40,9 @@ OPTIONS = (
            "characterization worker processes (unset = legacy serial)"),
     Option("cache_dir", str, None,
            "content-addressed model cache directory (unset = no cache)"),
+    Option("timing_backend", str, None,
+           "gate-level DTA engine: event or bitparallel "
+           "(unset = event; part of every model cache key)"),
 )
 
 
@@ -65,10 +68,12 @@ def run(context: Optional[ExperimentContext] = None,
         runs: int = 200, scale: str = "small",
         seed: int = 2021, samples: int = 50_000,
         benchmarks=None, workers: Optional[int] = None,
-        cache_dir: Optional[str] = None) -> AvmResult:
+        cache_dir: Optional[str] = None,
+        timing_backend: Optional[str] = None) -> AvmResult:
     context = ensure_context(context, scale=scale, seed=seed,
                              samples=samples, benchmarks=benchmarks,
-                             workers=workers, cache_dir=cache_dir)
+                             workers=workers, cache_dir=cache_dir,
+                             timing_backend=timing_backend)
     if campaign_results is None:
         campaign_results = context.run_campaigns(runs)
 

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.circuit.backend import pack_input_words, stream_words
 from repro.circuit.builder import build_adder, build_multiplier, bus_values
 from repro.circuit.dta import DynamicTimingAnalysis
 from repro.circuit.eventsim import EventSimulator
@@ -14,6 +15,13 @@ from repro.utils.bitops import longest_carry_chain
 
 def _adder_inputs(width, a, b):
     return {**bus_values("a", width, a), **bus_values("b", width, b)}
+
+
+def _analyze_pair(dta, previous, current):
+    """One transition through the primary batch API (a batch of one)."""
+    prev_words = pack_input_words(dta.netlist, [previous])
+    cur_words = pack_input_words(dta.netlist, [current])
+    return dta.analyze_batch(prev_words, cur_words, count=1).outcome(0)
 
 
 @pytest.fixture(scope="module")
@@ -102,25 +110,25 @@ class TestDta:
     def test_golden_equals_functional(self, adder8):
         clock = StaticTimingAnalysis(adder8).critical_delay()
         dta = DynamicTimingAnalysis(adder8, clock_ps=clock, delay_factor=1.4)
-        outcome = dta.analyze_transition(_adder_inputs(8, 0, 0),
-                                         _adder_inputs(8, 200, 100))
+        outcome = _analyze_pair(dta, _adder_inputs(8, 0, 0),
+                                _adder_inputs(8, 200, 100))
         assert outcome.golden & 0x1FF == (300 & 0x1FF)
 
     def test_bitmask_is_golden_xor_sampled(self, adder8):
         clock = StaticTimingAnalysis(adder8).critical_delay()
         dta = DynamicTimingAnalysis(adder8, clock_ps=clock, delay_factor=1.6)
-        outcome = dta.analyze_transition(_adder_inputs(8, 0, 0),
-                                         _adder_inputs(8, 255, 1))
+        outcome = _analyze_pair(dta, _adder_inputs(8, 0, 0),
+                                _adder_inputs(8, 255, 1))
         assert outcome.bitmask == outcome.golden ^ outcome.sampled
 
     def test_long_chains_fail_first(self, adder8):
         """Data dependence: scaled delays break long ripples, not short."""
         clock = StaticTimingAnalysis(adder8).critical_delay()
         dta = DynamicTimingAnalysis(adder8, clock_ps=clock, delay_factor=1.5)
-        long_chain = dta.analyze_transition(_adder_inputs(8, 0, 0),
-                                            _adder_inputs(8, 255, 1))
-        short_chain = dta.analyze_transition(_adder_inputs(8, 0, 0),
-                                             _adder_inputs(8, 16, 2))
+        long_chain = _analyze_pair(dta, _adder_inputs(8, 0, 0),
+                                   _adder_inputs(8, 255, 1))
+        short_chain = _analyze_pair(dta, _adder_inputs(8, 0, 0),
+                                    _adder_inputs(8, 16, 2))
         assert long_chain.faulty
         assert not short_chain.faulty
 
@@ -131,16 +139,30 @@ class TestDta:
         for _ in range(60):
             vectors.append({**bus_values("a", 5, rnd.randrange(32)),
                             **bus_values("b", 5, rnd.randrange(32))})
-        mild = DynamicTimingAnalysis(mul5, clock, 1.15).error_ratio(vectors)
-        harsh = DynamicTimingAnalysis(mul5, clock, 1.45).error_ratio(vectors)
+        prev_words, cur_words, count = stream_words(mul5, vectors)
+
+        def ratio(factor):
+            dta = DynamicTimingAnalysis(mul5, clock, factor)
+            batch = dta.analyze_batch(prev_words, cur_words, count=count)
+            return batch.error_ratio()
+
+        mild, harsh = ratio(1.15), ratio(1.45)
         assert harsh >= mild
         assert harsh > 0.0
 
-    def test_analyze_sequence_counts_transitions(self, adder8):
+    def test_analyze_sequence_compat_wrapper(self, adder8):
+        """The deprecated dict-based wrappers still delegate correctly."""
         clock = StaticTimingAnalysis(adder8).critical_delay()
         dta = DynamicTimingAnalysis(adder8, clock, 1.3)
         vectors = [_adder_inputs(8, i, i + 1) for i in range(5)]
-        assert len(dta.analyze_sequence(vectors)) == 4
+        outcomes = dta.analyze_sequence(vectors)
+        assert len(outcomes) == 4
+        prev_words, cur_words, count = stream_words(adder8, vectors)
+        batch = dta.analyze_batch(prev_words, cur_words, count=count)
+        assert [o.bitmask for o in outcomes] == list(batch.bitmask)
+        pair = dta.analyze_transition(vectors[0], vectors[1])
+        assert pair.golden == outcomes[0].golden
+        assert pair.bitmask == outcomes[0].bitmask
 
     def test_rejects_speedup_factor(self, adder8):
         with pytest.raises(ValueError):
@@ -153,8 +175,8 @@ class TestDta:
     def test_flipped_bits_counts_mask(self, adder8):
         clock = StaticTimingAnalysis(adder8).critical_delay()
         dta = DynamicTimingAnalysis(adder8, clock, 1.6)
-        outcome = dta.analyze_transition(_adder_inputs(8, 0, 0),
-                                         _adder_inputs(8, 255, 1))
+        outcome = _analyze_pair(dta, _adder_inputs(8, 0, 0),
+                                _adder_inputs(8, 255, 1))
         assert outcome.flipped_bits == bin(outcome.bitmask).count("1")
 
 
@@ -169,7 +191,7 @@ class TestMacroModelCalibration:
         threshold = None
         for chain in range(1, 9):
             a, b = 1, (1 << chain) - 1  # carry chain of exactly `chain`
-            outcome = dta.analyze_transition(zeros, _adder_inputs(8, a, b))
+            outcome = _analyze_pair(dta, zeros, _adder_inputs(8, a, b))
             assert longest_carry_chain(a, b, 8) == chain
             if outcome.faulty and threshold is None:
                 threshold = chain

@@ -4,11 +4,15 @@ import numpy as np
 import pytest
 
 from repro.circuit.liberty import VR15, VR20
+from repro.circuit.builder import build_adder
+from repro.circuit.sta import StaticTimingAnalysis
 from repro.errors.characterize import (
     characterize_da,
+    characterize_gate,
     characterize_ia,
     characterize_wa,
     random_operands,
+    random_vector_words,
 )
 from repro.fpu.formats import ALL_OPS, FpOp
 from repro.utils.rng import RngStream
@@ -145,3 +149,61 @@ class TestCharacterizeWa:
             for idx, mask in zip(tf.indices[:10], tf.bitmasks[:10]):
                 assert masks[idx] == mask
             break
+
+
+class TestCharacterizeGate:
+    @pytest.fixture(scope="class")
+    def adder(self):
+        return build_adder(8)
+
+    @pytest.fixture(scope="class")
+    def clock(self, adder):
+        return StaticTimingAnalysis(adder).critical_delay() * 0.8
+
+    def test_backends_agree_exactly(self, adder, clock):
+        kwargs = dict(clock_ps=clock, delay_factor=1.3, samples=384,
+                      seed=13, lanes=100)
+        event = characterize_gate(adder, backend="event", **kwargs)
+        fast = characterize_gate(adder, backend="bitparallel", **kwargs)
+        assert event.faulty == fast.faulty
+        assert np.array_equal(event.bit_counts, fast.bit_counts)
+        assert fast.worst_settle_ps <= event.worst_settle_ps + 1e-9
+        assert event.backend == "event"
+        assert fast.backend == "bitparallel"
+        assert event.error_ratio == event.faulty / event.analysed
+
+    def test_deterministic_in_seed(self, adder, clock):
+        first = characterize_gate(adder, clock_ps=clock, delay_factor=1.4,
+                                  samples=256, seed=5,
+                                  backend="bitparallel")
+        second = characterize_gate(adder, clock_ps=clock, delay_factor=1.4,
+                                   samples=256, seed=5,
+                                   backend="bitparallel")
+        assert first.faulty == second.faulty
+        assert np.array_equal(first.bit_counts, second.bit_counts)
+
+    def test_lane_chunking_invariant(self, adder, clock):
+        """Any lane-chunk geometry yields the identical statistics."""
+        results = [
+            characterize_gate(adder, clock_ps=clock, delay_factor=1.5,
+                              samples=300, seed=9, backend="bitparallel",
+                              lanes=lanes)
+            for lanes in (37, 64, 300)
+        ]
+        for other in results[1:]:
+            assert other.faulty == results[0].faulty
+            assert np.array_equal(other.bit_counts, results[0].bit_counts)
+
+    def test_vector_stream_is_backend_independent(self, adder):
+        one = random_vector_words(adder, 65, RngStream(3, "s"))
+        two = random_vector_words(adder, 65, RngStream(3, "s"))
+        assert one == two
+        assert len(one) == len(adder.inputs)
+
+    def test_rejects_bad_budgets(self, adder, clock):
+        with pytest.raises(ValueError):
+            characterize_gate(adder, clock_ps=clock, delay_factor=1.3,
+                              samples=0)
+        with pytest.raises(ValueError):
+            characterize_gate(adder, clock_ps=clock, delay_factor=1.3,
+                              samples=8, lanes=0)
