@@ -24,7 +24,13 @@ Times the paper's two phases with telemetry enabled:
    measuring the durability tax of crash-consistent journaling,
 8. *campaign_fastforward*: the identical campaign with the checkpointed
    fast-forward engine on — same seeds, same cells, bit-identical
-   outcomes — measuring the snapshot restore + suffix-replay speedup.
+   outcomes — measuring the snapshot restore + suffix-replay speedup,
+9. *campaign_observed*: the identical campaign with the full live
+   observability stack attached — metrics registry + status board +
+   CI-trajectory recorder behind a MonitorMux, the HTTP control plane
+   serving /metrics, /status and /trajectory on an ephemeral port, and
+   a campaign trace context stamping spans — measuring the cost of
+   watching a campaign (gated within a few percent in bench_check).
 
 The campaign phases run at their own ``--campaign-scale`` (default
 ``small``): guest execution has to dominate the per-run planning
@@ -88,13 +94,17 @@ from repro.workloads import make_workload                # noqa: E402
 #: characterize_bitparallel phases (gate-level characterisation of the
 #: same vector stream through the event-driven reference and the
 #: bit-parallel engine) and the backend block (speedup + verdict
-#: equality).
-SCHEMA_VERSION = 5
+#: equality).  v6 adds the campaign_observed phase (the same campaign
+#: with the metrics registry, status board, trajectory recorder and
+#: HTTP control plane attached) and the observability block (overhead
+#: fraction vs the unobserved campaign, scrape liveness, trajectory
+#: point count).
+SCHEMA_VERSION = 6
 
 PHASES = ("golden", "characterize", "characterize_parallel",
           "characterize_warm", "characterize_gate",
           "characterize_bitparallel", "campaign", "campaign_journal",
-          "campaign_fastforward")
+          "campaign_fastforward", "campaign_observed")
 
 DEFAULT_BENCHMARKS = ("kmeans", "hotspot")
 
@@ -340,6 +350,64 @@ def bench_pipeline(args) -> dict:
         phases["campaign_fastforward"]["per_benchmark"].values()
     )
 
+    # The identical (full-replay) campaign with the live observability
+    # stack attached: metrics registry + status board + CI-trajectory
+    # recorder multiplexed into the executor's monitor slot, the HTTP
+    # control plane serving /metrics, /status and /trajectory on an
+    # ephemeral port, and a campaign trace context stamping spans.
+    # Same seeds, same cells — the wall ratio to the plain campaign
+    # phase is the pure cost of watching, gated in bench_check.
+    from urllib.request import urlopen
+
+    from repro.observe import MonitorMux, TrajectoryRecorder
+    from repro.observe.httpd import (
+        CampaignMetrics,
+        ControlPlane,
+        StatusBoard,
+    )
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    board = StatusBoard()
+    board.begin_campaign("bench", args.seed,
+                         cells_total=len(args.benchmarks) * len(points))
+    trajectory = TrajectoryRecorder()
+    mux = MonitorMux(CampaignMetrics(registry), board, trajectory)
+    scrape_ok = False
+    with ControlPlane(registry, board, trajectory, port=0) as plane:
+        telemetry.set_trace_context(
+            telemetry.TraceContext(campaign_id=f"bench-s{args.seed}"))
+        try:
+            for name in args.benchmarks:
+                workload = make_workload(name, scale=args.campaign_scale,
+                                         seed=args.seed)
+                runner = CampaignRunner(
+                    workload, seed=args.seed,
+                    fastforward=FastForwardConfig(enabled=False),
+                )
+                runner.golden()
+                start = time.perf_counter()
+                config = ExecutorConfig(workers=args.workers)
+                with CampaignExecutor(runner, config=config,
+                                      monitor=mux) as executor:
+                    for point in points:
+                        executor.run_cell(models[name], point,
+                                          runs=args.runs)
+                phases["campaign_observed"]["per_benchmark"][name] = (
+                    time.perf_counter() - start
+                )
+        finally:
+            telemetry.clear_trace_context()
+        try:
+            with urlopen(f"http://127.0.0.1:{plane.port}/metrics",
+                         timeout=5) as resp:
+                scrape_ok = b"repro_campaign_runs_total" in resp.read()
+        except OSError:
+            scrape_ok = False
+    phases["campaign_observed"]["wall_s"] = sum(
+        phases["campaign_observed"]["per_benchmark"].values()
+    )
+
     snapshot = telemetry.snapshot()
     telemetry.disable()
 
@@ -369,6 +437,15 @@ def bench_pipeline(args) -> dict:
         "overhead": ((journal_wall - campaign_wall) / campaign_wall
                      if campaign_wall > 0 else None),
         **journal_stats,
+    }
+
+    observed_wall = phases["campaign_observed"]["wall_s"]
+    observability_block = {
+        "overhead": ((observed_wall - campaign_wall) / campaign_wall
+                     if campaign_wall > 0 else None),
+        "scrape_ok": scrape_ok,
+        "trajectory_points": len(trajectory.points),
+        "runs_observed": int(board.snapshot()["runs_done"]),
     }
 
     ff_wall = phases["campaign_fastforward"]["wall_s"]
@@ -433,6 +510,7 @@ def bench_pipeline(args) -> dict:
         "pipeline": pipeline_block,
         "journal": journal_block,
         "fastforward": fastforward_block,
+        "observability": observability_block,
         "layers": layers,
         "telemetry": snapshot,
     }
@@ -506,6 +584,15 @@ def validate(data) -> list:
     for key in ("restores", "early_exits", "ops_skipped", "ops_replayed"):
         need(fastforward, key, int, "$.fastforward")
     need(fastforward, "stores", list, "$.fastforward")
+
+    observability = need(data, "observability", dict, "$") or {}
+    need(observability, "overhead", (int, float), "$.observability")
+    scrape = need(observability, "scrape_ok", bool, "$.observability")
+    if scrape is False:
+        problems.append("$.observability.scrape_ok is false: the control "
+                        "plane did not serve the documented metric series")
+    need(observability, "trajectory_points", int, "$.observability")
+    need(observability, "runs_observed", int, "$.observability")
 
     layers = need(data, "layers", dict, "$") or {}
     for layer in ("eventsim", "dta", "bitsim", "executor"):
@@ -624,6 +711,11 @@ def main(argv=None) -> int:
           f"(interval={ff['interval']}, {ff['restores']} restores, "
           f"{ff['early_exits']} early exits, "
           f"{ff['ops_skipped']} ops skipped)")
+    obs = data["observability"]
+    print(f"  observability overhead: {obs['overhead']:+.1%} "
+          f"(scrape {'ok' if obs['scrape_ok'] else 'FAILED'}, "
+          f"{obs['trajectory_points']} trajectory points, "
+          f"{obs['runs_observed']} runs observed)")
     for layer in ("eventsim", "dta", "bitsim", "executor"):
         print(f"  [{layer}] {data['layers'][layer]['wall_s']:8.3f}s")
     return 0

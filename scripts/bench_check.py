@@ -39,6 +39,14 @@ characterize_gate (event-driven reference) phase by
 ``--bitsim-speedup-min`` on the byte-identical vector stream, and the
 two engines' verdicts must agree exactly.  Reports without the phases
 skip the gate.
+
+Schema v6 reports also gate the observability overhead on the candidate
+alone: the campaign_observed phase (the same cells with the metrics
+registry, status board, trajectory recorder and HTTP control plane
+attached) may cost at most ``--observability-overhead-max`` over the
+unobserved campaign phase (with a small absolute floor for noise), and
+the control plane's mid-run scrape must have served the documented
+series.  Reports without the phase skip the gate.
 """
 
 import argparse
@@ -264,6 +272,47 @@ def check_bitsim(candidate: dict, speedup_min: float):
     return problems, notes
 
 
+def check_observability(candidate: dict, overhead_max: float,
+                        overhead_floor_s: float):
+    """Candidate-only observability-overhead gate; ``(problems, notes)``.
+
+    The campaign and campaign_observed phases run the same seeded cells;
+    their wall-time delta is the pure cost of the live observer stack
+    (metrics + status board + trajectory recorder + HTTP control
+    plane).  The budget is ``max(overhead_max * campaign,
+    overhead_floor_s)`` — the absolute floor keeps sub-second campaign
+    phases from gating on scheduler noise.  A failed mid-run scrape is
+    a correctness failure, never acceptable noise.
+    """
+    problems = []
+    notes = []
+    phases = candidate.get("phases") or {}
+    plain = (phases.get("campaign") or {}).get("wall_s")
+    observed = (phases.get("campaign_observed") or {}).get("wall_s")
+    if plain is None or observed is None:
+        notes.append("observability gate skipped: no campaign_observed "
+                     "phase in candidate")
+        return problems, notes
+    block = candidate.get("observability") or {}
+    if block.get("scrape_ok") is False:
+        problems.append(
+            "control plane scrape failed during the observed campaign "
+            "(observability.scrape_ok is false)")
+    delta = observed - plain
+    budget = max(overhead_max * plain, overhead_floor_s)
+    overhead = delta / plain if plain > 0 else float("inf")
+    if delta > budget:
+        problems.append(
+            f"observability overhead {delta:.3f}s ({overhead:+.1%}) "
+            f"exceeds its budget {budget:.3f}s "
+            f"(max({overhead_max:.0%} of campaign {plain:.3f}s, "
+            f"{overhead_floor_s:.2f}s floor))")
+    else:
+        notes.append(f"observability overhead {delta:.3f}s "
+                     f"({overhead:+.1%}) within budget {budget:.3f}s")
+    return problems, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate a fresh pipeline benchmark against the "
@@ -305,6 +354,16 @@ def main(argv=None) -> int:
                         help="required characterize_gate/"
                              "characterize_bitparallel speedup in the "
                              "candidate (default 8.0)")
+    parser.add_argument("--observability-overhead-max", type=float,
+                        default=0.05,
+                        help="allowed campaign_observed overhead over "
+                             "the unobserved campaign phase "
+                             "(default 0.05 = +5%%)")
+    parser.add_argument("--observability-overhead-floor-seconds",
+                        type=float, default=0.1,
+                        help="absolute floor of the observability "
+                             "overhead budget (noise guard for "
+                             "sub-second campaign phases)")
     args = parser.parse_args(argv)
 
     try:
@@ -336,8 +395,12 @@ def main(argv=None) -> int:
         args.journal_overhead_floor_seconds)
     bitsim_problems, bitsim_notes = check_bitsim(
         candidate, args.bitsim_speedup_min)
-    pipeline_problems += ff_problems + journal_problems + bitsim_problems
-    pipeline_notes += ff_notes + journal_notes + bitsim_notes
+    obs_problems, obs_notes = check_observability(
+        candidate, args.observability_overhead_max,
+        args.observability_overhead_floor_seconds)
+    pipeline_problems += (ff_problems + journal_problems + bitsim_problems
+                          + obs_problems)
+    pipeline_notes += ff_notes + journal_notes + bitsim_notes + obs_notes
     for note in pipeline_notes:
         print(f"bench_check: {note}")
     failed = False

@@ -199,6 +199,11 @@ def _worker_main(conn, runner: CampaignRunner, model: ErrorModel,
                 sink.close()
             except Exception:  # pragma: no cover - sink already closed
                 pass
+        if telemetry.get_trace_context() is not None:
+            # The parent is tracing: buffer this worker's closed spans
+            # (bounded) so they ship with the next result message and
+            # get stitched into the parent's trace file.
+            collector.buffer_spans()
     recorder = flight.get_recorder()
     if recorder is not None:
         recorder.sink = None
@@ -247,6 +252,7 @@ def _worker_main(conn, runner: CampaignRunner, model: ErrorModel,
                     guest_entry=lambda: conn.send(
                         {"type": "guest", "run_index": task}
                     ),
+                    attempt=attempt,
                 )
             except Exception:
                 message = {"type": "harness_error", "run_index": task,
@@ -320,10 +326,23 @@ class CampaignExecutor:
                  runs: Optional[int] = None) -> CampaignResult:
         if runs is None:
             runs = confidence_sample_size()  # 1068
-        with telemetry.span("campaign.cell",
-                            workload=self.runner.workload.name,
-                            model=model.name, point=point.name, runs=runs):
-            return self._run_cell(model, point, runs)
+        # Narrow the campaign-level trace context to this cell before
+        # any worker forks: children inherit the cell-scoped context,
+        # so their buffered spans arrive pre-stamped for stitching.
+        base_ctx = telemetry.get_trace_context()
+        if base_ctx is not None:
+            cell = (f"{self.runner.workload.name}/{model.name}/"
+                    f"{point.name}")
+            telemetry.set_trace_context(base_ctx.for_cell(cell))
+        try:
+            with telemetry.span("campaign.cell",
+                                workload=self.runner.workload.name,
+                                model=model.name, point=point.name,
+                                runs=runs):
+                return self._run_cell(model, point, runs)
+        finally:
+            if base_ctx is not None:
+                telemetry.set_trace_context(base_ctx)
 
     def _run_cell(self, model: ErrorModel, point: OperatingPoint,
                   runs: int) -> CampaignResult:
@@ -496,6 +515,7 @@ class CampaignExecutor:
                     execution = self.runner.execute_run(
                         model, point, run_index, injector=injector,
                         wall_clock_timeout=cfg.wall_clock_timeout,
+                        attempt=attempt,
                     )
                 except Exception:
                     stats.harness_errors += 1

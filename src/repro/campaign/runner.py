@@ -228,7 +228,7 @@ class CampaignRunner:
                     run_index: int,
                     injector: Optional[MicroArchInjector] = None,
                     wall_clock_timeout: Optional[float] = None,
-                    guest_entry=None) -> RunExecution:
+                    guest_entry=None, attempt: int = 0) -> RunExecution:
         """Plan, place and execute one injection run.
 
         Exceptions raised before :meth:`run_guest` (planning/placement)
@@ -236,7 +236,9 @@ class CampaignRunner:
         classified.  ``guest_entry``, when given, is called immediately
         before the guest boundary is entered — pool workers use it to
         tell the orchestrator that a subsequent death is a guest crash,
-        not a harness failure.
+        not a harness failure.  ``attempt`` is the executor's harness
+        retry counter; it only rides on the trace context so stitched
+        spans can tell retries apart — it never influences the run.
         """
         golden = self.golden()
         telemetry.count("campaign.runs")
@@ -244,6 +246,30 @@ class CampaignRunner:
             self.seed,
             run_key(self.workload.name, model.name, point.name, run_index),
         )
+        # Narrow the trace context to this run for the duration: the
+        # stream name *is* the journal key, so every span closed below
+        # (here or transitively in the guest) is stamped with the same
+        # identity the journal and flight records use — the hook that
+        # lets `repro trace query --explain` stitch one causal trace
+        # out of parent and worker span streams.
+        base_ctx = telemetry.get_trace_context()
+        if base_ctx is not None:
+            telemetry.set_trace_context(base_ctx.for_run(rng.name, attempt))
+        try:
+            with telemetry.span("campaign.run", run=run_index):
+                return self._execute_planned(
+                    model, point, run_index, rng, golden, injector,
+                    wall_clock_timeout, guest_entry)
+        finally:
+            if base_ctx is not None:
+                telemetry.set_trace_context(base_ctx)
+
+    def _execute_planned(self, model: ErrorModel, point: OperatingPoint,
+                         run_index: int, rng: RngStream,
+                         golden: "GoldenRun",
+                         injector: Optional[MicroArchInjector],
+                         wall_clock_timeout: Optional[float],
+                         guest_entry) -> RunExecution:
         capture = flight.begin_capture(
             self.workload.name, model.name, point.name, run_index,
             self.seed, rng.name,

@@ -12,6 +12,9 @@ Exposes the toolflow of Fig. 2 as commands:
   flight records and prints per-run "why SDC?" drill-downs,
 - ``report``       — render a journal + trace into one self-contained
   HTML page (``--html``),
+- ``serve``        — post-hoc control plane: rebuild the ``/metrics``,
+  ``/status`` and ``/trajectory`` HTTP endpoints from a finished
+  campaign's journal,
 - ``experiment``   — regenerate one paper artifact by id (fig4..fig10,
   table1, table2, avm),
 - ``list``         — show available benchmarks and experiments.
@@ -20,7 +23,9 @@ Exposes the toolflow of Fig. 2 as commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from pathlib import Path
 
 from repro import telemetry
@@ -153,15 +158,67 @@ def _cmd_campaign(args) -> int:
                                                "scale": args.scale,
                                                "seed": args.seed})
             collector.add_sink(sink)
+            # Cross-process stitching: spans closed anywhere in this
+            # campaign — including inside forked workers — are stamped
+            # with the campaign/cell/run coordinates and merged back
+            # into this one trace file.
+            telemetry.set_trace_context(telemetry.TraceContext(
+                campaign_id=(f"{args.benchmark}-s{args.seed}"
+                             f"-p{os.getpid()}")))
     if args.flight:
         from repro.observe import flight
 
         flight.enable(sink, keep_in_memory=False)
-    monitor = None
+    if args.trajectory:
+        _check_parent_dir(args.trajectory, "--trajectory")
+    trajectory_recorder = None
+    if args.trajectory or args.serve:
+        from repro.observe import TrajectoryRecorder
+
+        # Path-less recorders still collect in memory for /trajectory.
+        trajectory_recorder = TrajectoryRecorder(path=args.trajectory)
+    control_plane = None
+    if args.serve:
+        from repro.observe.httpd import (
+            CampaignMetrics,
+            ControlPlane,
+            StatusBoard,
+        )
+        from repro.telemetry import metrics as metrics_registry
+
+        registry = metrics_registry.enable()
+        metrics_adapter = CampaignMetrics(registry)
+        status_board = StatusBoard()
+        status_board.begin_campaign(
+            args.benchmark, args.seed, cells_total=len(args.vr),
+            extra={"scale": args.scale, "runs_per_cell": args.runs,
+                   "workers": args.workers})
+        control_plane = ControlPlane(registry, status_board,
+                                     trajectory_recorder,
+                                     port=args.metrics_port)
+        bound = control_plane.start()
+        print(f"control plane: http://127.0.0.1:{bound} "
+              f"(/metrics /status /trajectory)", file=sys.stderr)
+        if args.port_file:
+            _check_parent_dir(args.port_file, "--port-file")
+            Path(args.port_file).write_text(f"{bound}\n",
+                                            encoding="utf-8")
+    terminal_monitor = None
     if args.monitor:
         from repro.observe import CampaignMonitor
 
-        monitor = CampaignMonitor(total_cells=len(args.vr))
+        terminal_monitor = CampaignMonitor(total_cells=len(args.vr))
+    monitor = None
+    if (terminal_monitor is not None or control_plane is not None
+            or trajectory_recorder is not None):
+        from repro.observe import MonitorMux
+
+        monitor = MonitorMux(
+            terminal_monitor,
+            metrics_adapter if control_plane is not None else None,
+            status_board if control_plane is not None else None,
+            trajectory_recorder,
+        )
     points = _points_for(args.vr)
     workload = make_workload(args.benchmark, scale=args.scale,
                              seed=args.seed)
@@ -210,7 +267,10 @@ def _cmd_campaign(args) -> int:
 
             flight.disable()
         if sink is not None:
+            telemetry.clear_trace_context()
             sink.close(telemetry.get_collector())
+        if trajectory_recorder is not None:
+            trajectory_recorder.close()
         if chaos_injector is not None:
             chaos.uninstall()
     print(outcome_table(results))
@@ -259,6 +319,67 @@ def _cmd_campaign(args) -> int:
         print()
         print(summary_table(telemetry.snapshot()))
         telemetry.disable()
+    if control_plane is not None:
+        from repro.telemetry import metrics as metrics_registry
+
+        if args.serve_grace > 0:
+            # Keep the endpoints up so a supervisor (CI, a dashboard
+            # poller) can scrape the finished campaign's final state.
+            print(f"control plane: serving final state for "
+                  f"{args.serve_grace:g}s more", file=sys.stderr)
+            time.sleep(args.serve_grace)
+        control_plane.close()
+        metrics_registry.disable()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Post-hoc control plane: serve a finished campaign's artifacts.
+
+    Rebuilds the status board and metric families by replaying the
+    journal's outcomes, loads the CI trajectory if one was recorded, and
+    exposes the same ``/metrics`` / ``/status`` / ``/trajectory``
+    endpoints as ``repro campaign --serve`` — without re-running
+    anything.
+    """
+    from repro.observe.html_report import load_campaign_results
+    from repro.observe.httpd import (
+        ControlPlane,
+        board_from_results,
+        registry_from_results,
+    )
+
+    results = load_campaign_results(args.journal)
+    if not results:
+        raise SystemExit(
+            f"error: no campaign results in journal {args.journal!r}"
+        )
+    board = board_from_results(results, benchmark=args.benchmark or "",
+                               seed=args.seed)
+    registry = registry_from_results(results)
+    trajectory = None
+    if args.trajectory:
+        from repro.observe import TrajectoryRecorder, load_trajectory
+
+        trajectory = TrajectoryRecorder()  # path-less: in-memory only
+        trajectory.points.extend(load_trajectory(args.trajectory))
+    plane = ControlPlane(registry, board, trajectory,
+                         host=args.host, port=args.metrics_port)
+    bound = plane.start()
+    print(f"control plane: http://{args.host}:{bound} "
+          f"(/metrics /status /trajectory)", file=sys.stderr)
+    if args.port_file:
+        _check_parent_dir(args.port_file, "--port-file")
+        Path(args.port_file).write_text(f"{bound}\n", encoding="utf-8")
+    deadline = (time.monotonic() + args.duration
+                if args.duration is not None else None)
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        plane.close()
     return 0
 
 
@@ -315,6 +436,28 @@ def _cmd_chaos(args) -> int:
     return 0 if result.ok else 1
 
 
+def _stitched_spans_text(events, run_key: str) -> str:
+    """Render the cross-process span trail of one run, if recorded.
+
+    Spans closed inside forked workers carry the run's trace context
+    (campaign id, cell, run key, pid); sorted by wall-clock timestamp
+    they read as one causal trace even though the work crossed a fork.
+    """
+    from repro.telemetry import spans_for_run
+
+    spans = spans_for_run(events, run_key)
+    if not spans:
+        return ""
+    lines = [f"spans ({run_key}):",
+             f"  {'pid':>8}  {'duration ms':>12}  path"]
+    for span in spans:
+        attrs = span.get("attrs", {})
+        pid = attrs.get("pid", "?")
+        lines.append(f"  {pid!s:>8}  {span.get('duration_ms', 0.0):>12.3f}"
+                     f"  {span.get('path', span.get('name', '?'))}")
+    return "\n".join(lines)
+
+
 def _cmd_trace(args) -> int:
     from repro.observe import flight
 
@@ -327,14 +470,26 @@ def _cmd_trace(args) -> int:
         if not selected:
             print("(no flight records match)")
             return 1
+        from repro.telemetry.sinks import read_trace
+
+        events = read_trace(args.trace)
         for record in selected:
             print(flight.explain(record))
+            stitched = _stitched_spans_text(events, record.stream)
+            if stitched:
+                print()
+                print(stitched)
             print()
         return 0
     print(flight.records_table(selected))
     if args.summary:
         print()
         print(flight.summary_tables(selected))
+        from repro.telemetry import span_summary_table
+        from repro.telemetry.sinks import read_trace
+
+        print()
+        print(span_summary_table(read_trace(args.trace)))
     return 0
 
 
@@ -363,8 +518,14 @@ def _cmd_report(args) -> int:
             for event in events
             if event.get("type") == "provenance" and event.get("line")
         ]
+    trajectory_points = []
+    if args.trajectory:
+        from repro.observe import load_trajectory
+
+        trajectory_points = load_trajectory(args.trajectory)
     out = write_report(args.html, results, records, snapshot,
-                       title=args.title, provenance_lines=provenance)
+                       title=args.title, provenance_lines=provenance,
+                       trajectory_points=trajectory_points)
     print(f"wrote {out}")
     return 0
 
@@ -455,6 +616,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--monitor", action="store_true",
                    help="live terminal status: progress, outcome tallies, "
                         "AVM with 95%% CI, worker health, ETA")
+    p.add_argument("--serve", action="store_true",
+                   help="expose a live HTTP control plane (/metrics in "
+                        "Prometheus text format, /status JSON, "
+                        "/trajectory NDJSON) for the campaign's duration")
+    p.add_argument("--metrics-port", type=int, default=0,
+                   help="control-plane TCP port (default 0 = ephemeral; "
+                        "the bound port is printed to stderr and shown "
+                        "in /status)")
+    p.add_argument("--port-file", default=None,
+                   help="write the bound control-plane port to this file "
+                        "(for scripts scraping an ephemeral port)")
+    p.add_argument("--serve-grace", type=float, default=0.0,
+                   help="keep the control plane up this many seconds "
+                        "after the campaign finishes (lets CI scrape "
+                        "final /metrics and /status)")
+    p.add_argument("--trajectory", default=None,
+                   help="append per-run CI-trajectory points (cell, "
+                        "runs_done, AVM, Wilson bounds, wall_s) to this "
+                        "JSONL file")
     ff = p.add_mutually_exclusive_group()
     ff.add_argument("--fast-forward", dest="fast_forward",
                     action="store_true", default=True,
@@ -544,6 +724,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--html", required=True,
                    help="output path of the report page")
     p.add_argument("--title", default="Timing-error campaign report")
+    p.add_argument("--trajectory", default=None,
+                   help="CI-trajectory JSONL (campaign --trajectory) to "
+                        "render as a convergence section")
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a finished campaign's status and metrics over HTTP",
+        description="Rebuild the /metrics, /status and /trajectory "
+                    "endpoints from a finished campaign's journal (and "
+                    "optional trajectory stream) without re-running "
+                    "anything.  Runs until Ctrl-C or --duration.")
+    p.add_argument("--journal", required=True,
+                   help="campaign journal to reconstruct state from")
+    p.add_argument("--trajectory", default=None,
+                   help="CI-trajectory JSONL recorded by campaign "
+                        "--trajectory")
+    p.add_argument("--benchmark", default=None,
+                   help="benchmark name to show in /status (cosmetic)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="campaign seed to show in /status (cosmetic)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--metrics-port", type=int, default=0,
+                   help="TCP port (default 0 = ephemeral, printed to "
+                        "stderr)")
+    p.add_argument("--port-file", default=None,
+                   help="write the bound port to this file")
+    p.add_argument("--duration", type=float, default=None,
+                   help="serve for this many seconds then exit "
+                        "(default: until interrupted)")
 
     p = sub.add_parser(
         "experiment", help="regenerate a paper artifact",
@@ -568,6 +777,7 @@ def main(argv=None) -> int:
         "chaos": _cmd_chaos,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "serve": _cmd_serve,
         "experiment": _cmd_experiment,
     }
     return handlers[args.command](args)

@@ -36,10 +36,31 @@ from repro.observe.flight import (
     records_table,
     summary_tables,
 )
-from repro.observe.monitor import CampaignMonitor
+from repro.observe.monitor import CampaignMonitor, MonitorMux
+from repro.observe.stats import (
+    AvmEstimate,
+    avm_estimate,
+    non_masked_count,
+    wilson_ci,
+)
+from repro.observe.trajectory import (
+    TrajectoryPoint,
+    TrajectoryRecorder,
+    load_trajectory,
+    points_by_cell,
+)
 
 __all__ = [
+    "AvmEstimate",
     "CampaignMonitor",
+    "MonitorMux",
+    "TrajectoryPoint",
+    "TrajectoryRecorder",
+    "avm_estimate",
+    "load_trajectory",
+    "non_masked_count",
+    "points_by_cell",
+    "wilson_ci",
     "FlightRecord",
     "FlightRecorder",
     "FlightVictim",

@@ -33,6 +33,7 @@ from repro.observe.records import (
     masking_summary,
 )
 from repro.observe.flight import explain
+from repro.observe.trajectory import TrajectoryPoint, points_by_cell
 
 __all__ = ["load_campaign_results", "render_html", "write_report"]
 
@@ -434,6 +435,79 @@ def _section_flight(records: Sequence[FlightRecord],
     )
 
 
+def _trajectory_svg(cell: str, points: Sequence[TrajectoryPoint]) -> str:
+    """One CI-convergence panel: AVM line inside its Wilson CI band."""
+    panel_w, panel_h, pad_l, pad_b, pad_t = 320, 180, 46, 26, 16
+    plot_w, plot_h = panel_w - pad_l - 14, panel_h - pad_t - pad_b
+    max_runs = max(p.runs_done for p in points)
+    y_top = min(1.0, max(max(p.ci_hi for p in points) * 1.15, 0.05))
+
+    def xy(runs: int, value: float) -> Tuple[float, float]:
+        x = pad_l + plot_w * (runs / max_runs if max_runs else 0.0)
+        y = pad_t + plot_h * (1 - min(value, y_top) / y_top)
+        return x, y
+
+    parts = [f'<svg viewBox="0 0 {panel_w} {panel_h}" role="img" '
+             f'aria-label="CI convergence for {_esc(cell)}">']
+    for frac in (0.0, 0.5, 1.0):
+        y = pad_t + plot_h * (1 - frac)
+        parts.append(f'<line x1="{pad_l}" y1="{y:.1f}" '
+                     f'x2="{pad_l + plot_w}" y2="{y:.1f}" class="grid"/>')
+        parts.append(f'<text x="{pad_l - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end" class="lab">'
+                     f'{frac * y_top:.0%}</text>')
+    for frac in (0.0, 0.5, 1.0):
+        x = pad_l + plot_w * frac
+        parts.append(f'<text x="{x:.1f}" y="{panel_h - 8}" '
+                     f'text-anchor="middle" class="lab">'
+                     f'{round(max_runs * frac)}</text>')
+    # Wilson CI band: upper bound forward, lower bound back.
+    band = [xy(p.runs_done, p.ci_hi) for p in points]
+    band += [xy(p.runs_done, p.ci_lo) for p in reversed(points)]
+    band_path = " ".join(f"{x:.1f},{y:.1f}" for x, y in band)
+    parts.append(f'<polygon points="{band_path}" class="ci-band"/>')
+    line = " ".join(f"{x:.1f},{y:.1f}"
+                    for x, y in (xy(p.runs_done, p.avm) for p in points))
+    parts.append(f'<polyline points="{line}" fill="none" '
+                 f'stroke="var(--c-sdc)" stroke-width="2"/>')
+    last = points[-1]
+    x, y = xy(last.runs_done, last.avm)
+    parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+                 f'fill="var(--c-sdc)" stroke="var(--surface)" '
+                 f'stroke-width="2"><title>{_esc(cell)}: AVM '
+                 f'{last.avm:.1%} ±{last.half_width:.1%} after '
+                 f'{last.runs_done} runs</title></circle>')
+    parts.append(f'<text x="{pad_l}" y="11" class="lab">{_esc(cell)} '
+                 f'— final ±{last.half_width:.1%}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _section_trajectory(points: Sequence[TrajectoryPoint]) -> str:
+    """CI convergence per cell: the data adaptive sampling will consume."""
+    grouped = {cell: pts for cell, pts
+               in points_by_cell(list(points)).items() if pts}
+    if not grouped:
+        return ""
+    panels = [_trajectory_svg(cell, grouped[cell])
+              for cell in sorted(grouped)]
+    rows = []
+    for cell in sorted(grouped):
+        last = grouped[cell][-1]
+        rows.append([cell, len(grouped[cell]), last.runs_done,
+                     f"{last.avm:.3f}",
+                     f"[{last.ci_lo:.3f}, {last.ci_hi:.3f}]",
+                     f"{last.half_width:.3f}", f"{last.wall_s:.2f}"])
+    return (
+        "<section><h2>CI convergence (Wilson 95%)</h2>"
+        '<div class="panels">' + "".join(panels) + "</div>"
+        + _data_table(["cell", "points", "runs", "AVM", "95% CI",
+                       "±half-width", "wall s"], rows,
+                      summary="Trajectory endpoints per cell")
+        + "</section>"
+    )
+
+
 def _section_telemetry(snapshot: Mapping[str, Any]) -> str:
     counters = snapshot.get("counters") or {}
     stats = snapshot.get("stats") or {}
@@ -492,6 +566,7 @@ svg .lab { font: 11px system-ui, sans-serif; fill: var(--ink-muted); }
 svg .grid { stroke: var(--grid); stroke-width: 1; }
 .seg-masked { fill: var(--c-masked); } .seg-sdc { fill: var(--c-sdc); }
 .seg-crash { fill: var(--c-crash); } .seg-timeout { fill: var(--c-timeout); }
+.ci-band { fill: var(--c-sdc); fill-opacity: 0.18; stroke: none; }
 .legend { margin: 6px 0; }
 .legend .lg { margin-right: 14px; color: var(--ink); font-size: 12px; }
 .legend .sw {
@@ -527,7 +602,8 @@ def render_html(results: Sequence[CampaignResult],
                 flight_records: Sequence[FlightRecord] = (),
                 telemetry_snapshot: Optional[Mapping[str, Any]] = None,
                 title: str = "Timing-error campaign report",
-                provenance_lines: Sequence[str] = ()) -> str:
+                provenance_lines: Sequence[str] = (),
+                trajectory_points: Sequence[TrajectoryPoint] = ()) -> str:
     """Render the whole report as one self-contained HTML string."""
     results = list(results)
     flight_records = list(flight_records)
@@ -538,6 +614,7 @@ def render_html(results: Sequence[CampaignResult],
     if results:
         sections.append(_section_outcomes(results))
         sections.append(_section_avm(results))
+    sections.append(_section_trajectory(trajectory_points))
     sections.append(_section_heatmap(flight_records))
     if results:
         sections.append(_section_health(results))
@@ -562,12 +639,14 @@ def write_report(path, results: Sequence[CampaignResult],
                  flight_records: Sequence[FlightRecord] = (),
                  telemetry_snapshot: Optional[Mapping[str, Any]] = None,
                  title: str = "Timing-error campaign report",
-                 provenance_lines: Sequence[str] = ()) -> Path:
+                 provenance_lines: Sequence[str] = (),
+                 trajectory_points: Sequence[TrajectoryPoint] = ()) -> Path:
     """Render and write the report; returns the written path."""
     out = Path(path)
     out.write_text(
         render_html(results, flight_records, telemetry_snapshot,
-                    title=title, provenance_lines=provenance_lines),
+                    title=title, provenance_lines=provenance_lines,
+                    trajectory_points=trajectory_points),
         encoding="utf-8",
     )
     return out

@@ -1,0 +1,453 @@
+"""Live campaign control plane: /metrics, /status and /trajectory.
+
+A stdlib-only HTTP layer (``http.server.ThreadingHTTPServer``) over the
+campaign's observability substrate, serving
+
+- ``/metrics`` — Prometheus text exposition of the metrics registry,
+  with the process's telemetry counters bridged in at scrape time;
+- ``/status`` — one JSON document of campaign progress: identity,
+  current-cell progress, outcome tallies, running AVM with its Wilson
+  CI, worker health, finished-cell summaries;
+- ``/trajectory`` — the recorded CI-trajectory points as NDJSON
+  (filterable with ``?cell=``).
+
+Three hook-shaped observers feed it, multiplexed by
+:class:`~repro.observe.monitor.MonitorMux` into the executor's single
+``monitor`` slot:
+
+- :class:`CampaignMetrics` updates the registry families
+  (``repro_campaign_runs_total``, ``repro_campaign_outcome_total``,
+  ``repro_campaign_avm``, ``repro_worker_alive``, ...);
+- :class:`StatusBoard` keeps the thread-safe snapshot ``/status``
+  serialises;
+- the :class:`~repro.observe.trajectory.TrajectoryRecorder` retains the
+  points ``/trajectory`` streams.
+
+Everything here is a pure observer — scrapes read state under a lock
+and never touch an RNG stream, so a served campaign stays bit-identical
+to an unobserved one.  Binding port 0 asks the kernel for an ephemeral
+port; :meth:`ControlPlane.start` returns the bound port and ``/status``
+surfaces it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro import telemetry
+from repro.observe.stats import avm_estimate, non_masked_count
+from repro.telemetry.export import render_prometheus
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "CampaignMetrics",
+    "ControlPlane",
+    "StatusBoard",
+    "board_from_results",
+    "registry_from_results",
+]
+
+#: Bumped when the /status document shape changes.
+STATUS_VERSION = 1
+
+
+class CampaignMetrics:
+    """Monitor-protocol adapter that feeds a metrics registry.
+
+    Counter families are campaign-cumulative; per-cell families carry a
+    ``cell`` label.  The executor's :class:`CellStats` totals are pinned
+    with ``set_total`` (they are monotonic within a cell), so repeated
+    ``on_run`` ticks never double-count.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._runs = registry.counter(
+            "repro_campaign_runs_total",
+            "Classified campaign runs (journal-resumed runs included)")
+        self._outcomes = registry.counter(
+            "repro_campaign_outcome_total",
+            "Classified campaign runs by outcome", labels=("outcome",))
+        self._avm = registry.gauge(
+            "repro_campaign_avm",
+            "Running AVM (non-masked fraction) per campaign cell",
+            labels=("cell",))
+        self._ci_half = registry.gauge(
+            "repro_campaign_avm_ci_halfwidth",
+            "Half-width of the 95% Wilson CI on the running AVM",
+            labels=("cell",))
+        self._worker_alive = registry.gauge(
+            "repro_worker_alive",
+            "Campaign workers presumed alive (1 when running serially)")
+        self._cells = registry.counter(
+            "repro_campaign_cells_total", "Campaign cells completed")
+        self._cell_runs = registry.gauge(
+            "repro_campaign_cell_runs",
+            "Runs requested for the cell", labels=("cell",))
+        self._cell_done = registry.gauge(
+            "repro_campaign_cell_done",
+            "Runs classified so far in the cell", labels=("cell",))
+        self._retries = registry.counter(
+            "repro_campaign_retries_total",
+            "Harness-error retries", labels=("cell",))
+        self._watchdog = registry.counter(
+            "repro_campaign_watchdog_kills_total",
+            "Runs stopped by a wall-clock watchdog", labels=("cell",))
+        self._restarts = registry.counter(
+            "repro_worker_restarts_total",
+            "Workers recycled, replaced or killed", labels=("cell",))
+        self._run_ms = registry.summary(
+            "repro_campaign_run_wall_ms",
+            "Wall-clock milliseconds per classified run")
+        self._cell: Optional[str] = None
+        self._tallies: Dict[str, int] = {}
+        self._done = 0
+
+    # -- executor hooks -------------------------------------------------------
+    def begin_cell(self, workload: str, model: str, point: str,
+                   runs: int, resumed: int = 0) -> None:
+        self._cell = f"{workload}/{model}/{point}"
+        self._tallies = {}
+        self._done = resumed
+        self._cell_runs.set(runs, cell=self._cell)
+        self._cell_done.set(resumed, cell=self._cell)
+        self._worker_alive.set(1)
+        if resumed:
+            self._runs.inc(resumed)
+
+    def on_run(self, record: Any, stats: Optional[Any] = None) -> None:
+        cell = self._cell or "?"
+        self._done += 1
+        self._runs.inc()
+        outcome = getattr(record, "outcome", str(record))
+        self._tallies[outcome] = self._tallies.get(outcome, 0) + 1
+        self._outcomes.inc(outcome=outcome)
+        self._run_ms.observe(float(getattr(record, "wall_ms", 0.0)))
+        est = avm_estimate(non_masked_count(self._tallies), self._done)
+        self._avm.set(est.avm, cell=cell)
+        self._ci_half.set(est.half_width, cell=cell)
+        self._cell_done.set(self._done, cell=cell)
+        if stats is not None:
+            self._worker_alive.set(max(getattr(stats, "workers", 0), 1))
+            self._retries.set_total(stats.retries, cell=cell)
+            self._watchdog.set_total(stats.watchdog_kills, cell=cell)
+            self._restarts.set_total(stats.worker_restarts, cell=cell)
+
+    def end_cell(self, result: Any) -> None:
+        self._cells.inc()
+        counts = getattr(result, "counts", None)
+        if counts is not None and counts.total:
+            cell = self._cell or "?"
+            est = avm_estimate(counts.non_masked, counts.total)
+            self._avm.set(est.avm, cell=cell)
+            self._ci_half.set(est.half_width, cell=cell)
+            self._cell_done.set(counts.total, cell=cell)
+        self._cell = None
+
+    def close(self) -> None:
+        self._worker_alive.set(0)
+
+
+class StatusBoard:
+    """Thread-safe campaign status snapshot behind ``/status``.
+
+    Fed by the same monitor hooks as everything else; scraped (under
+    its lock) by the HTTP handler thread.  Also buildable post-hoc from
+    journal-reconstructed results via :func:`board_from_results`.
+    """
+
+    def __init__(self, now=time.monotonic):
+        self._now = now
+        self._lock = threading.Lock()
+        self._campaign: Dict[str, Any] = {}
+        self._started = now()
+        self._cells: List[Dict[str, Any]] = []
+        self._current: Optional[Dict[str, Any]] = None
+        self._outcomes: Dict[str, int] = {}
+        self._workers: Dict[str, int] = {}
+        self._runs_done = 0
+        self._finished = False
+        self.port: Optional[int] = None
+
+    def begin_campaign(self, benchmark: str, seed: int,
+                       cells_total: Optional[int] = None,
+                       extra: Optional[Dict[str, Any]] = None) -> None:
+        with self._lock:
+            self._campaign = {"benchmark": benchmark, "seed": seed,
+                              "cells_total": cells_total}
+            if extra:
+                self._campaign.update(extra)
+
+    # -- executor hooks -------------------------------------------------------
+    def begin_cell(self, workload: str, model: str, point: str,
+                   runs: int, resumed: int = 0) -> None:
+        with self._lock:
+            self._current = {
+                "cell": f"{workload}/{model}/{point}",
+                "runs_requested": runs,
+                "runs_done": resumed,
+                "resumed": resumed,
+                "outcomes": {},
+                "avm": avm_estimate(0, 0).to_dict(),
+                "started_s": self._now(),
+            }
+
+    def on_run(self, record: Any, stats: Optional[Any] = None) -> None:
+        outcome = getattr(record, "outcome", str(record))
+        with self._lock:
+            self._runs_done += 1
+            self._outcomes[outcome] = self._outcomes.get(outcome, 0) + 1
+            current = self._current
+            if current is not None:
+                current["runs_done"] += 1
+                tallies = current["outcomes"]
+                tallies[outcome] = tallies.get(outcome, 0) + 1
+                current["avm"] = avm_estimate(
+                    non_masked_count(tallies),
+                    current["runs_done"]).to_dict()
+            if stats is not None:
+                self._workers = {
+                    "pool_size": getattr(stats, "workers", 0),
+                    "alive": max(getattr(stats, "workers", 0), 1),
+                    "retries": stats.retries,
+                    "watchdog_kills": stats.watchdog_kills,
+                    "harness_errors": stats.harness_errors,
+                    "worker_restarts": stats.worker_restarts,
+                }
+
+    def end_cell(self, result: Any) -> None:
+        with self._lock:
+            summary: Dict[str, Any] = {}
+            counts = getattr(result, "counts", None)
+            if counts is not None:
+                est = avm_estimate(counts.non_masked, counts.total)
+                summary = {
+                    "cell": (f"{result.workload}/{result.model}/"
+                             f"{result.point}"),
+                    "runs": counts.total,
+                    "outcomes": {o.value: n
+                                 for o, n in counts.counts.items()},
+                    "avm": est.to_dict(),
+                    "degraded": bool(getattr(result.stats, "degraded",
+                                             False)
+                                     if result.stats else False),
+                }
+            elif self._current is not None:
+                summary = dict(self._current)
+            self._cells.append(summary)
+            self._current = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._finished = True
+            if self._workers:
+                self._workers["alive"] = 0
+
+    # -- scraping -------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``/status`` document (JSON-serialisable copy)."""
+        with self._lock:
+            non_masked = non_masked_count(self._outcomes)
+            return {
+                "service": "repro-control-plane",
+                "version": STATUS_VERSION,
+                "campaign": dict(self._campaign),
+                "port": self.port,
+                "uptime_s": self._now() - self._started,
+                "finished": self._finished,
+                "runs_done": self._runs_done,
+                "cells_done": len(self._cells),
+                "outcomes": dict(self._outcomes),
+                "avm": avm_estimate(non_masked,
+                                    self._runs_done).to_dict(),
+                "current_cell": (dict(self._current)
+                                 if self._current is not None else None),
+                "workers": dict(self._workers),
+                "cells": [dict(cell) for cell in self._cells],
+            }
+
+
+def board_from_results(results, benchmark: str = "",
+                       seed: Optional[int] = None) -> StatusBoard:
+    """A finished-campaign StatusBoard from journal-derived results.
+
+    Powers ``repro serve --journal``: the journal's reconstructed
+    :class:`~repro.campaign.runner.CampaignResult` objects replay
+    through the same hook path a live campaign uses, so the ``/status``
+    document is identical in shape.
+    """
+    board = StatusBoard()
+    results = list(results)
+    if seed is None and results:
+        seed = results[0].seed
+    if not benchmark:
+        benchmark = ",".join(sorted({r.workload for r in results}))
+    board.begin_campaign(benchmark, seed or 0, cells_total=len(results))
+    for result in results:
+        board.begin_cell(result.workload, result.model, result.point,
+                         result.counts.total)
+        for outcome, n in result.counts.counts.items():
+            for _ in range(n):
+                board.on_run(type("R", (), {"outcome": outcome.value})(),
+                             result.stats)
+        board.end_cell(result)
+    board.close()
+    return board
+
+
+def registry_from_results(results) -> MetricsRegistry:
+    """A metrics registry pre-filled from journal-derived results."""
+    registry = MetricsRegistry()
+    metrics = CampaignMetrics(registry)
+    for result in results:
+        metrics.begin_cell(result.workload, result.model, result.point,
+                           result.counts.total)
+        for outcome, n in result.counts.counts.items():
+            if n:
+                metrics._outcomes.inc(n, outcome=outcome.value)
+        metrics._runs.inc(result.counts.total)
+        metrics.end_cell(result)
+    metrics.close()
+    return registry
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """GET-only handler over the owning ControlPlane's observers."""
+
+    plane: "ControlPlane"  # injected by ControlPlane._make_handler
+    server_version = "repro-control-plane"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args) -> None:  # pragma: no cover - quiet
+        pass
+
+    def _reply(self, code: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlsplit(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        plane = self.plane
+        try:
+            if route == "/metrics":
+                self._reply(200, plane.render_metrics(),
+                            "text/plain; version=0.0.4; charset=utf-8")
+            elif route == "/status":
+                self._reply(200, json.dumps(plane.render_status(),
+                                            indent=2) + "\n",
+                            "application/json; charset=utf-8")
+            elif route == "/trajectory":
+                query = parse_qs(parsed.query)
+                cell = query.get("cell", [None])[0]
+                self._reply(200, plane.render_trajectory(cell),
+                            "application/x-ndjson; charset=utf-8")
+            elif route == "/":
+                self._reply(200, "repro control plane: "
+                            "/metrics /status /trajectory\n",
+                            "text/plain; charset=utf-8")
+            else:
+                self._reply(404, "not found\n",
+                            "text/plain; charset=utf-8")
+        except (BrokenPipeError, ConnectionResetError):
+            # Scraper went away mid-reply; nothing to clean up.
+            pass
+
+
+class ControlPlane:
+    """The HTTP server wiring registry, status board and trajectory.
+
+    ``port=0`` binds an ephemeral port; :meth:`start` returns whichever
+    port was bound and records it on the status board.  The server runs
+    on a daemon thread (plus per-request handler threads) and only ever
+    *reads* observer state — it cannot perturb a campaign.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 status: Optional[StatusBoard] = None,
+                 trajectory: Optional[Any] = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.registry = registry
+        self.status = status
+        self.trajectory = trajectory
+        self.host = host
+        self.requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- endpoint bodies ------------------------------------------------------
+    def render_metrics(self) -> str:
+        if self.registry is None:
+            return ""
+        if telemetry.enabled():
+            # Bridge the process's telemetry counters/stats (executor,
+            # runner, pipeline, fast-forward, chaos probes) at scrape
+            # time — cheap, and only scrapers pay for it.
+            self.registry.sync_from_telemetry(telemetry.snapshot())
+        return render_prometheus(self.registry)
+
+    def render_status(self) -> Dict[str, Any]:
+        if self.status is None:
+            return {"service": "repro-control-plane",
+                    "version": STATUS_VERSION, "port": self.port,
+                    "campaign": {}, "finished": False}
+        return self.status.snapshot()
+
+    def render_trajectory(self, cell: Optional[str] = None) -> str:
+        points = getattr(self.trajectory, "points", None) or []
+        lines = [json.dumps(p.to_dict(), separators=(",", ":"))
+                 for p in list(points)
+                 if cell is None or p.cell == cell]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def port(self) -> Optional[int]:
+        if self._server is None:
+            return None
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> Optional[str]:
+        port = self.port
+        return f"http://{self.host}:{port}" if port else None
+
+    def start(self) -> int:
+        """Bind, spin up the serving thread, return the bound port."""
+        handler = type("_BoundHandler", (_Handler,), {"plane": self})
+        self._server = ThreadingHTTPServer(
+            (self.host, self.requested_port), handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-control-plane", daemon=True)
+        self._thread.start()
+        port = self._server.server_address[1]
+        if self.status is not None:
+            self.status.port = port
+        return port
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(2.0)
+            self._thread = None
+
+    def __enter__(self) -> "ControlPlane":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

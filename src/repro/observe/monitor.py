@@ -24,13 +24,18 @@ import sys
 import time
 from typing import Any, Dict, Optional, TextIO
 
-from repro.utils.stats import wilson_interval
+from repro.observe.stats import (
+    NON_MASKED_OUTCOMES,
+    OUTCOME_ORDER,
+    avm_estimate,
+    non_masked_count,
+)
 
-__all__ = ["CampaignMonitor"]
+__all__ = ["CampaignMonitor", "MonitorMux"]
 
 #: Outcome display order (matches the paper's category order).
-_OUTCOMES = ("Masked", "SDC", "Crash", "Timeout")
-_NON_MASKED = ("SDC", "Crash", "Timeout")
+_OUTCOMES = OUTCOME_ORDER
+_NON_MASKED = NON_MASKED_OUTCOMES
 
 
 class CampaignMonitor:
@@ -107,12 +112,9 @@ class CampaignMonitor:
             parts += f"  other {extras}"
         if not done:
             return f"  outcomes: {parts}   AVM --"
-        non_masked = sum(tallies.get(name, 0) for name in _NON_MASKED)
-        avm = non_masked / done
-        lo, hi = wilson_interval(non_masked, done)
-        half = (hi - lo) / 2.0
+        est = avm_estimate(non_masked_count(tallies), done)
         return (f"  outcomes: {parts}   "
-                f"AVM {avm:6.1%} ±{half:5.1%} (95% CI)")
+                f"AVM {est.avm:6.1%} ±{est.half_width:5.1%} (95% CI)")
 
     def _health_line(self) -> str:
         stats = self._stats
@@ -173,3 +175,39 @@ class CampaignMonitor:
             prefix = "[done] " if final else ""
             self.stream.write(prefix + block.replace("\n", " | ") + "\n")
         self.stream.flush()
+
+
+class MonitorMux:
+    """Fan the executor's monitor hooks out to several observers.
+
+    The executor accepts exactly one ``monitor`` object; the control
+    plane wants several (terminal monitor, metrics adapter, status
+    board, trajectory recorder) listening to the same run stream.  The
+    mux forwards each hook to every observer in registration order and
+    is itself hook-shaped, so the executor cannot tell the difference.
+    ``None`` observers are skipped at construction so call sites can
+    pass optional pieces unconditionally.
+    """
+
+    def __init__(self, *observers: Optional[Any]):
+        self.observers = [obs for obs in observers if obs is not None]
+
+    def __bool__(self) -> bool:
+        return bool(self.observers)
+
+    def begin_cell(self, workload: str, model: str, point: str,
+                   runs: int, resumed: int = 0) -> None:
+        for obs in self.observers:
+            obs.begin_cell(workload, model, point, runs, resumed=resumed)
+
+    def on_run(self, record: Any, stats: Optional[Any] = None) -> None:
+        for obs in self.observers:
+            obs.on_run(record, stats)
+
+    def end_cell(self, result: Any) -> None:
+        for obs in self.observers:
+            obs.end_cell(result)
+
+    def close(self) -> None:
+        for obs in self.observers:
+            obs.close()

@@ -1,0 +1,189 @@
+"""CI-trajectory recorder: how fast each cell's AVM estimate converges.
+
+The paper sizes every campaign cell at 1068 runs for a ±3 % Wilson
+margin; adaptive sampling (ROADMAP item 3) wants to stop earlier when a
+cell converges sooner.  This module records the data that decision
+needs: after each classified run (subsampled by ``stride``) it appends a
+``(cell, runs_done, avm, ci_lo, ci_hi, wall_s)`` point, building the
+confidence-interval trajectory of every cell.
+
+Points are framed JSONL records (``type: "trajectory"``), either on
+their own stream file or interleaved into an existing telemetry trace
+via any sink with an ``emit`` method.  The recorder implements the
+executor's monitor hook protocol, so it multiplexes with the terminal
+monitor and the HTTP status board through
+:class:`~repro.observe.monitor.MonitorMux`; like them it is a pure
+observer — no RNG, no campaign state, bit-identical outcomes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.observe.stats import avm_estimate, non_masked_count
+
+__all__ = [
+    "POINT_TYPE",
+    "TrajectoryPoint",
+    "TrajectoryRecorder",
+    "load_trajectory",
+    "points_by_cell",
+]
+
+#: Framed-record discriminator for trajectory points.
+POINT_TYPE = "trajectory"
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One sample of a cell's running AVM estimate.
+
+    ``runs_done`` counts classified runs including journal-resumed ones;
+    ``wall_s`` is seconds since the cell began (wall-clock only — it
+    never feeds back into the campaign).
+    """
+
+    cell: str
+    runs_done: int
+    avm: float
+    ci_lo: float
+    ci_hi: float
+    wall_s: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_hi - self.ci_lo) / 2.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": POINT_TYPE, "cell": self.cell,
+                "runs_done": self.runs_done, "avm": self.avm,
+                "ci_lo": self.ci_lo, "ci_hi": self.ci_hi,
+                "wall_s": self.wall_s}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TrajectoryPoint":
+        return cls(cell=str(data.get("cell", "?")),
+                   runs_done=int(data.get("runs_done", 0)),
+                   avm=float(data.get("avm", 0.0)),
+                   ci_lo=float(data.get("ci_lo", 0.0)),
+                   ci_hi=float(data.get("ci_hi", 0.0)),
+                   wall_s=float(data.get("wall_s", 0.0)))
+
+
+class TrajectoryRecorder:
+    """Executor monitor hook that streams CI-trajectory points.
+
+    ``path`` opens a dedicated JSONL stream (first line is a ``meta``
+    header); ``sink`` reuses an existing emitting sink (e.g. the
+    telemetry :class:`~repro.telemetry.sinks.JsonlSink`) instead.
+    ``stride`` subsamples: a point lands every ``stride`` runs plus
+    always on the final run of a cell.  Points are also kept in memory
+    (per cell) for the ``/trajectory`` endpoint and the HTML report.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None,
+                 sink: Optional[Any] = None, stride: int = 1,
+                 now=time.monotonic):
+        self._now = now
+        self.stride = max(1, int(stride))
+        self.points: List[TrajectoryPoint] = []
+        self._sink = sink
+        self._fh = None
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(path, "w", encoding="utf-8")
+            self._write({"type": "meta", "trace": "repro-trajectory",
+                         "version": 1})
+        self._cell: Optional[str] = None
+        self._runs_requested = 0
+        self._done = 0
+        self._resumed = 0
+        self._tallies: Dict[str, int] = {}
+        self._cell_started = 0.0
+
+    # -- executor hooks -------------------------------------------------------
+    def begin_cell(self, workload: str, model: str, point: str,
+                   runs: int, resumed: int = 0) -> None:
+        self._cell = f"{workload}/{model}/{point}"
+        self._runs_requested = runs
+        self._done = resumed
+        self._resumed = resumed
+        self._tallies = {}
+        self._cell_started = self._now()
+
+    def on_run(self, record: Any, stats: Optional[Any] = None) -> None:
+        self._done += 1
+        outcome = getattr(record, "outcome", str(record))
+        self._tallies[outcome] = self._tallies.get(outcome, 0) + 1
+        executed = self._done - self._resumed
+        if (executed % self.stride == 0
+                or self._done >= self._runs_requested):
+            self._emit_point()
+
+    def end_cell(self, result: Any) -> None:
+        # Final point from the authoritative cell counts when available
+        # (covers resumed runs the live hooks never saw).
+        counts = getattr(result, "counts", None)
+        if counts is not None and getattr(counts, "total", 0):
+            est = avm_estimate(counts.non_masked, counts.total)
+            self._append(TrajectoryPoint(
+                cell=self._cell or "?", runs_done=counts.total,
+                avm=est.avm, ci_lo=est.ci_lo, ci_hi=est.ci_hi,
+                wall_s=self._now() - self._cell_started))
+        elif self._done:
+            self._emit_point()
+        self._cell = None
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+
+    # -- emission -------------------------------------------------------------
+    def _emit_point(self) -> None:
+        est = avm_estimate(non_masked_count(self._tallies), self._done)
+        self._append(TrajectoryPoint(
+            cell=self._cell or "?", runs_done=self._done, avm=est.avm,
+            ci_lo=est.ci_lo, ci_hi=est.ci_hi,
+            wall_s=self._now() - self._cell_started))
+
+    def _append(self, point: TrajectoryPoint) -> None:
+        self.points.append(point)
+        payload = point.to_dict()
+        if self._fh is not None and not self._fh.closed:
+            self._write(payload)
+        if self._sink is not None:
+            self._sink.emit(payload)
+
+    def _write(self, payload: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def by_cell(self) -> Dict[str, List[TrajectoryPoint]]:
+        """The in-memory points grouped by cell, in arrival order."""
+        return points_by_cell(self.points)
+
+
+def points_by_cell(points: List[TrajectoryPoint]
+                   ) -> Dict[str, List[TrajectoryPoint]]:
+    """Group trajectory points by cell, preserving order."""
+    grouped: Dict[str, List[TrajectoryPoint]] = {}
+    for point in points:
+        grouped.setdefault(point.cell, []).append(point)
+    return grouped
+
+
+def load_trajectory(path: Union[str, Path]) -> List[TrajectoryPoint]:
+    """Read trajectory points from a JSONL stream (torn-tail tolerant).
+
+    Accepts both dedicated trajectory streams and telemetry traces with
+    interleaved ``trajectory`` records.
+    """
+    from repro.telemetry.sinks import read_trace
+    return [TrajectoryPoint.from_dict(event)
+            for event in read_trace(path)
+            if event.get("type") == POINT_TYPE]

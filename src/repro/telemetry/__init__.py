@@ -52,24 +52,51 @@ from repro.telemetry.core import (
     span,
     timed,
 )
-from repro.telemetry.sinks import JsonlSink, read_trace, summary_table
+from repro.telemetry.core import (
+    TraceContext,
+    clear_trace_context,
+    get_trace_context,
+    set_trace_context,
+)
+from repro.telemetry.export import render_prometheus
+from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry, Summary
+from repro.telemetry.sinks import (
+    JsonlSink,
+    read_trace,
+    span_summary,
+    span_summary_table,
+    spans_for_run,
+    summary_table,
+)
 
 __all__ = [
     "Collector",
+    "Counter",
+    "Gauge",
     "JsonlSink",
+    "MetricsRegistry",
     "SpanRecord",
     "Stat",
+    "Summary",
+    "TraceContext",
+    "clear_trace_context",
     "count",
     "disable",
     "enable",
     "enabled",
     "get_collector",
+    "get_trace_context",
     "merge",
     "observe",
     "read_trace",
+    "render_prometheus",
     "reset",
+    "set_trace_context",
     "snapshot",
     "span",
+    "span_summary",
+    "span_summary_table",
+    "spans_for_run",
     "summary_table",
     "timed",
 ]

@@ -20,22 +20,28 @@ Design constraints (why this module looks the way it does):
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional
 
 __all__ = [
     "Collector",
     "SpanRecord",
     "Stat",
+    "TraceContext",
+    "clear_trace_context",
     "count",
     "disable",
     "enable",
     "enabled",
     "get_collector",
+    "get_trace_context",
     "merge",
     "observe",
     "reset",
+    "set_trace_context",
     "snapshot",
     "span",
     "timed",
@@ -95,6 +101,42 @@ class Stat:
                 f"mean={self.mean:.6g})")
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """Causal coordinates stamped onto spans for cross-process stitching.
+
+    Set once per campaign (``campaign_id``), narrowed per cell and per
+    run (``for_cell`` / ``for_run``), and inherited by forked workers —
+    so a span closed in a worker carries the same ``run_key`` as the
+    parent-side spans and journal record for that run, and
+    ``repro trace query --run N --explain`` can reassemble the full
+    causal trace across processes.  Contexts are immutable; narrowing
+    returns a new value, letting callers restore the previous one in a
+    ``finally``.
+    """
+
+    campaign_id: str
+    cell: str = ""
+    run_key: str = ""
+    attempt: int = 0
+
+    def for_cell(self, cell: str) -> "TraceContext":
+        return replace(self, cell=cell, run_key="", attempt=0)
+
+    def for_run(self, run_key: str, attempt: int = 0) -> "TraceContext":
+        return replace(self, run_key=run_key, attempt=attempt)
+
+    def to_attrs(self) -> Dict[str, Any]:
+        """The context as span attributes (empty fields omitted)."""
+        attrs: Dict[str, Any] = {"campaign_id": self.campaign_id}
+        if self.cell:
+            attrs["cell"] = self.cell
+        if self.run_key:
+            attrs["run_key"] = self.run_key
+            attrs["attempt"] = self.attempt
+        return attrs
+
+
 class SpanRecord:
     """One closed span, as handed to sinks."""
 
@@ -133,6 +175,9 @@ class Collector:
         self._sinks: List[Any] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        self._span_buffer: Optional[List[Dict[str, Any]]] = None
+        self._span_buffer_limit = 0
+        self._span_buffer_dropped = 0
 
     # -- sinks ----------------------------------------------------------------
     def add_sink(self, sink: Any) -> None:
@@ -156,6 +201,20 @@ class Collector:
         detached = self._sinks
         self._sinks = []
         return detached
+
+    def buffer_spans(self, limit: int = 256) -> None:
+        """Buffer closed spans for shipping instead of writing to sinks.
+
+        Sink-less forked workers call this when a :class:`TraceContext`
+        is active: closed spans queue (bounded — a hot loop cannot grow
+        the result-pipe message without bound) and leave with the next
+        :meth:`drain`, so the parent can stitch them into its trace
+        file.  Spans past the limit are counted, not kept.
+        """
+        with self._lock:
+            if self._span_buffer is None:
+                self._span_buffer = []
+            self._span_buffer_limit = limit
 
     # -- counters & stats -----------------------------------------------------
     def count(self, name: str, n: float = 1) -> None:
@@ -191,11 +250,29 @@ class Collector:
         if stack and stack[-1] == name:
             stack.pop()
         self.observe(name, duration_s)
-        if self._sinks:
-            record = SpanRecord(name, path, path.count("/"),
-                                duration_s, attrs)
-            for sink in self._sinks:
-                sink.on_span(record)
+        if not self._sinks and self._span_buffer is None:
+            return
+        ctx = _TRACE_CTX
+        if ctx is not None:
+            # Stamp causal coordinates (plus pid and a wall-clock epoch
+            # for cross-process ordering) onto the record.  Wall time
+            # never feeds back into campaign state, so determinism of
+            # outcomes is untouched.
+            merged = dict(attrs) if attrs else {}
+            merged.update(ctx.to_attrs())
+            merged["pid"] = os.getpid()
+            merged["ts"] = time.time()
+            attrs = merged
+        record = SpanRecord(name, path, path.count("/"),
+                            duration_s, attrs)
+        for sink in self._sinks:
+            sink.on_span(record)
+        if self._span_buffer is not None:
+            with self._lock:
+                if len(self._span_buffer) < self._span_buffer_limit:
+                    self._span_buffer.append(record.to_dict())
+                else:
+                    self._span_buffer_dropped += 1
 
     # -- snapshots & merging --------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -220,6 +297,12 @@ class Collector:
             }
             self.counters = {}
             self.stats = {}
+            if self._span_buffer:
+                out["spans"] = self._span_buffer
+                self._span_buffer = []
+            if self._span_buffer_dropped:
+                out["spans_dropped"] = self._span_buffer_dropped
+                self._span_buffer_dropped = 0
         return out
 
     def merge_snapshot(self, data: Dict[str, Any]) -> None:
@@ -233,17 +316,58 @@ class Collector:
                     self.stats[name] = Stat.from_dict(payload)
                 else:
                     stat.merge(Stat.from_dict(payload))
+        # Re-emit spans shipped by a worker into this process's sinks,
+        # outside the lock: sinks do file IO.  Worker spans already
+        # carry their TraceContext attrs (pid, run_key, ...), so the
+        # trace file ends up with one stitched causal record stream.
+        spans = data.get("spans")
+        if spans and self._sinks:
+            for payload in spans:
+                record = SpanRecord(
+                    payload.get("name", "?"), payload.get("path", ""),
+                    int(payload.get("depth", 0)),
+                    float(payload.get("duration_ms", 0.0)) / 1000.0,
+                    payload.get("attrs"))
+                for sink in self._sinks:
+                    sink.on_span(record)
+        dropped = data.get("spans_dropped", 0)
+        if dropped:
+            self.count("trace.spans_dropped", dropped)
 
     def reset(self) -> None:
         with self._lock:
             self.counters = {}
             self.stats = {}
+            if self._span_buffer is not None:
+                self._span_buffer = []
+            self._span_buffer_dropped = 0
 
 
 # -- module-level fast path --------------------------------------------------
 #: The active collector, or None when telemetry is disabled.  Every probe
 #: reads this exactly once; ``None`` is the no-op fast path.
 _ACTIVE: Optional[Collector] = None
+
+#: The current trace context, or None when stitching is off.  A process
+#: global rather than thread-local on purpose: campaign workers are
+#: single-threaded forks that inherit the parent's value, and the
+#: parent narrows it only from the orchestrating thread.
+_TRACE_CTX: Optional[TraceContext] = None
+
+
+def set_trace_context(ctx: Optional[TraceContext]) -> None:
+    """Install (or, with ``None``, clear) the current trace context."""
+    global _TRACE_CTX
+    _TRACE_CTX = ctx
+
+
+def get_trace_context() -> Optional[TraceContext]:
+    return _TRACE_CTX
+
+
+def clear_trace_context() -> None:
+    global _TRACE_CTX
+    _TRACE_CTX = None
 
 
 class _NullSpan:

@@ -1,0 +1,85 @@
+"""Prometheus text exposition encoder for the metrics registry.
+
+Renders a :class:`~repro.telemetry.metrics.MetricsRegistry` in the
+Prometheus text exposition format (version 0.0.4): per family a
+``# HELP`` and ``# TYPE`` comment followed by one sample line per label
+tuple.  Summaries expose the standard ``_count`` / ``_sum`` pair plus
+non-standard ``_min`` / ``_max`` gauges (cheap to keep from the Stat
+accumulator and useful for watchdog tuning); scrapers that only
+understand the standard pair simply ignore the extras.
+
+Stdlib-only by design — the control plane must not pull a client
+library into the pinned container image.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.telemetry.core import Stat
+from repro.telemetry.metrics import MetricFamily, MetricsRegistry
+
+__all__ = ["escape_help", "escape_label_value", "render_prometheus"]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (value.replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: Tuple[str, ...], values: Tuple[str, ...],
+                 extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{name}="{escape_label_value(value)}"'
+             for name, value in zip(names, values)]
+    pairs += [f'{name}="{escape_label_value(value)}"'
+              for name, value in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _render_family(family: MetricFamily) -> List[str]:
+    lines = []
+    if family.help_text:
+        lines.append(f"# HELP {family.name} "
+                     f"{escape_help(family.help_text)}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    samples = family.samples()
+    for key in sorted(samples):
+        value = samples[key]
+        labels = _labels_text(family.label_names, key)
+        if isinstance(value, Stat):
+            lines.append(f"{family.name}_count{labels} {value.count}")
+            lines.append(f"{family.name}_sum{labels} "
+                         f"{_format_value(value.total)}")
+            lines.append(f"{family.name}_min{labels} "
+                         f"{_format_value(value.min if value.count else 0.0)}")
+            lines.append(f"{family.name}_max{labels} "
+                         f"{_format_value(value.max if value.count else 0.0)}")
+        else:
+            lines.append(f"{family.name}{labels} {_format_value(value)}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (trailing newline)."""
+    lines: List[str] = []
+    for family in registry.collect():
+        lines.extend(_render_family(family))
+    return "\n".join(lines) + "\n" if lines else ""

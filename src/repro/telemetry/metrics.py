@@ -1,0 +1,290 @@
+"""Scrapeable metrics registry: gauges, counters and labelled summaries.
+
+Where :mod:`repro.telemetry.core` answers "what did this process do?"
+(cumulative counters, span stats, a trace file), this module answers
+"what is the campaign doing *right now*?" in a form a Prometheus-style
+scraper can poll: named metric families with typed semantics
+(``counter`` monotonic, ``gauge`` set-to-current, ``summary`` backed by
+the same :class:`~repro.telemetry.core.Stat` accumulator the collector
+uses), each sample keyed by a tuple of label values.
+
+Design constraints mirror the telemetry core:
+
+- **Off-by-default-cheap.**  The module-level fast path is one global
+  load against ``None`` (:func:`get_registry`); nothing in the hot
+  pipeline touches the registry unless a control plane enabled it.
+- **Deterministic results.**  The registry is a pure observer fed by
+  the executor's monitor hooks and by :meth:`MetricsRegistry.
+  sync_from_telemetry`; it never draws from an RNG stream, so enabled
+  campaigns stay bit-identical.
+- **Thread-safe.**  The HTTP scrape thread reads while the campaign
+  thread writes; every mutation and :meth:`MetricsRegistry.collect`
+  hold the registry lock.
+
+Naming scheme (documented in DESIGN.md §13): every family is
+``repro_<area>_<noun>``, counters end in ``_total``, units ride in the
+suffix (``_ms``, ``_s``), and telemetry counters bridged by
+``sync_from_telemetry`` map ``a.b.c`` → ``repro_a_b_c_total``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.telemetry.core import Stat
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Summary",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "sanitize_metric_name",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+LabelValues = Tuple[str, ...]
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an arbitrary dotted probe name into a legal metric name."""
+    cleaned = _SANITIZE_RE.sub("_", name)
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+class MetricFamily:
+    """One named family: shared HELP/TYPE, one sample per label tuple.
+
+    Subclasses pin the ``kind`` and the mutation verbs; the family holds
+    the samples dict and validates label usage.  All mutation goes
+    through the owning registry's lock (families created standalone get
+    their own).
+    """
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "",
+                 label_names: Tuple[str, ...] = (),
+                 lock: Optional[threading.Lock] = None):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self.label_names = tuple(label_names)
+        self._samples: Dict[LabelValues, Any] = {}
+        self._lock = lock if lock is not None else threading.Lock()
+
+    def _key(self, labels: Mapping[str, Any]) -> LabelValues:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}")
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def samples(self) -> Dict[LabelValues, Any]:
+        """Point-in-time copy of the family's samples."""
+        with self._lock:
+            return dict(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"{type(self).__name__}({self.name!r}, "
+                f"samples={len(self._samples)})")
+
+
+class Counter(MetricFamily):
+    """Monotonically increasing total (resets only with the process)."""
+
+    kind = "counter"
+
+    def inc(self, n: float = 1, **labels: Any) -> None:
+        if n < 0:
+            raise ValueError(f"{self.name}: counters only go up (n={n})")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + n
+
+    def set_total(self, value: float, **labels: Any) -> None:
+        """Pin the running total to an externally tracked monotonic value.
+
+        Used by the telemetry bridge: the collector's counters are
+        already cumulative, so re-syncing sets the sample rather than
+        double-adding.  Never moves the sample backwards.
+        """
+        key = self._key(labels)
+        with self._lock:
+            if value >= self._samples.get(key, 0):
+                self._samples[key] = value
+
+    def value(self, **labels: Any) -> float:
+        return self.samples().get(self._key(labels), 0)
+
+
+class Gauge(MetricFamily):
+    """Current-value metric: goes up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = value
+
+    def inc(self, n: float = 1, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0) + n
+
+    def dec(self, n: float = 1, **labels: Any) -> None:
+        self.inc(-n, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self.samples().get(self._key(labels), 0)
+
+
+class Summary(MetricFamily):
+    """Distribution metric backed by the telemetry Stat accumulator."""
+
+    kind = "summary"
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            stat = self._samples.get(key)
+            if stat is None:
+                stat = self._samples[key] = Stat()
+            stat.add(value)
+
+    def stat(self, **labels: Any) -> Stat:
+        return self.samples().get(self._key(labels), Stat())
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "summary": Summary}
+
+
+class MetricsRegistry:
+    """Get-or-create store of metric families for one control plane.
+
+    Families are created lazily by :meth:`counter` / :meth:`gauge` /
+    :meth:`summary`; asking for an existing name with a different kind
+    or label set is a programming error and raises.  A single registry
+    lock serialises family creation and every sample mutation, so a
+    scrape (:meth:`collect`) sees a consistent point-in-time view.
+    """
+
+    def __init__(self):
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    def _family(self, kind: str, name: str, help_text: str,
+                label_names: Tuple[str, ...]) -> MetricFamily:
+        cls = _KINDS[kind]
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help_text, label_names, lock=self._lock)
+                self._families[name] = family
+                return family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"not {kind}")
+        if family.label_names != tuple(label_names):
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{family.label_names}, not {tuple(label_names)}")
+        return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Tuple[str, ...] = ()) -> Counter:
+        return self._family("counter", name, help_text, tuple(labels))
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Tuple[str, ...] = ()) -> Gauge:
+        return self._family("gauge", name, help_text, tuple(labels))
+
+    def summary(self, name: str, help_text: str = "",
+                labels: Tuple[str, ...] = ()) -> Summary:
+        return self._family("summary", name, help_text, tuple(labels))
+
+    def collect(self) -> List[MetricFamily]:
+        """Families sorted by name (samples copied per family on read)."""
+        with self._lock:
+            return [self._families[name]
+                    for name in sorted(self._families)]
+
+    def sync_from_telemetry(self, snapshot: Mapping[str, Any]) -> None:
+        """Bridge a ``telemetry.snapshot()`` into ``repro_*`` families.
+
+        Every collector counter ``a.b.c`` becomes the counter family
+        ``repro_a_b_c_total`` pinned to the cumulative total, and every
+        stat becomes a ``repro_a_b_c`` summary rebuilt from its
+        count/total/min/max.  Called at scrape time, so the executor,
+        runner, pipeline, fast-forward and chaos probes surface without
+        any of those layers knowing the registry exists.
+
+        A telemetry path whose sanitized name collides with an existing
+        family of a different kind or label set (e.g. the collector's
+        ``campaign.retries`` vs the adapter's per-cell
+        ``repro_campaign_retries_total{cell=...}``) is skipped: the
+        directly-registered family wins and the scrape stays alive.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            try:
+                metric = self.counter(
+                    sanitize_metric_name(f"repro_{name}_total"),
+                    f"telemetry counter {name}")
+            except ValueError:
+                continue
+            metric.set_total(float(value))
+        for name, payload in snapshot.get("stats", {}).items():
+            try:
+                metric = self.summary(
+                    sanitize_metric_name(f"repro_{name}"),
+                    f"telemetry distribution {name}")
+            except ValueError:
+                continue
+            stat = (payload if isinstance(payload, Stat)
+                    else Stat.from_dict(payload))
+            with metric._lock:
+                metric._samples[()] = stat
+
+
+# -- module-level fast path --------------------------------------------------
+#: The active registry, or None when no control plane is serving.  Like
+#: the telemetry collector, probes read this once and bail on None.
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def enabled() -> bool:
+    """Whether a metrics registry is currently active."""
+    return _ACTIVE is not None
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install a registry (idempotent); returns the active one."""
+    global _ACTIVE
+    if registry is not None:
+        _ACTIVE = registry
+    elif _ACTIVE is None:
+        _ACTIVE = MetricsRegistry()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Drop the active registry."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    return _ACTIVE

@@ -103,6 +103,61 @@ def read_trace(path: PathLike) -> List[Dict[str, Any]]:
     return events
 
 
+def span_summary(events: List[Dict[str, Any]]) -> List[Any]:
+    """Aggregate span events by name: ``[(name, Stat-over-ms), ...]``.
+
+    Rows are sorted by total time descending so the most expensive span
+    family leads; ties break on name ascending, which keeps the order
+    stable across runs whose totals happen to collide (zero-duration
+    spans, torn traces).
+    """
+    stats: Dict[str, Stat] = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        stat = stats.setdefault(str(event.get("name", "?")), Stat())
+        stat.add(float(event.get("duration_ms", 0.0)))
+    return sorted(stats.items(), key=lambda kv: (-kv[1].total, kv[0]))
+
+
+def span_summary_table(events: List[Dict[str, Any]]) -> str:
+    """Render :func:`span_summary` rows as an aligned text table."""
+    rows = span_summary(events)
+    lines: List[str] = ["span summary (by total time)"]
+    if not rows:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    width = max(max(len(name) for name, _ in rows), len("name"))
+    lines.append(f"  {'name':<{width}}  {'count':>9}  {'total ms':>12}  "
+                 f"{'mean ms':>12}  {'min ms':>12}  {'max ms':>12}")
+    for name, stat in rows:
+        lines.append(
+            f"  {name:<{width}}  {stat.count:>9,}  "
+            f"{stat.total:>12.6g}  {stat.mean:>12.6g}  "
+            f"{(stat.min if stat.count else 0.0):>12.6g}  "
+            f"{(stat.max if stat.count else 0.0):>12.6g}"
+        )
+    return "\n".join(lines)
+
+
+def spans_for_run(events: List[Dict[str, Any]],
+                  run_key: str) -> List[Dict[str, Any]]:
+    """Every span stamped with ``run_key``, in causal order.
+
+    Pulls the spans a :class:`~repro.telemetry.core.TraceContext`
+    annotated with the given run key — parent-side and stitched-in
+    worker spans alike — ordered by wall-clock close time (the ``ts``
+    attr the context stamps), with pid/path as a stable tie-break.
+    """
+    matched = [event for event in events
+               if event.get("type") == "span"
+               and event.get("attrs", {}).get("run_key") == run_key]
+    matched.sort(key=lambda e: (e.get("attrs", {}).get("ts", 0.0),
+                                e.get("attrs", {}).get("pid", 0),
+                                e.get("path", "")))
+    return matched
+
+
 def _format_count(value: float) -> str:
     if value == int(value):
         return f"{int(value):,}"

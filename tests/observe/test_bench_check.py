@@ -164,3 +164,53 @@ class TestJournalGate:
             _report(), overhead_max=0.05, overhead_floor_s=0.1)
         assert not problems
         assert any("skipped" in n for n in notes)
+
+
+def _observed_report(campaign_s, observed_s, scrape_ok=True):
+    report = _report()
+    report["phases"]["campaign"]["wall_s"] = campaign_s
+    report["phases"]["campaign_observed"] = {
+        "wall_s": observed_s, "per_benchmark": {"kmeans": observed_s}}
+    report["observability"] = {"overhead": (observed_s - campaign_s)
+                               / campaign_s,
+                               "scrape_ok": scrape_ok,
+                               "trajectory_points": 96,
+                               "runs_observed": 96}
+    return report
+
+
+class TestObservabilityGate:
+    def test_overhead_within_budget_passes(self):
+        problems, notes = bench_check.check_observability(
+            _observed_report(10.0, 10.3), overhead_max=0.05,
+            overhead_floor_s=0.1)
+        assert not problems
+        assert any("within budget" in n for n in notes)
+
+    def test_overhead_past_budget_fails(self):
+        problems, _ = bench_check.check_observability(
+            _observed_report(10.0, 11.0), overhead_max=0.05,
+            overhead_floor_s=0.1)
+        assert len(problems) == 1
+        assert "exceeds its budget" in problems[0]
+
+    def test_floor_absorbs_subsecond_noise(self):
+        """A blip on a 0.4s campaign phase is scheduler noise, not an
+        observability regression — the absolute floor lets it through."""
+        problems, notes = bench_check.check_observability(
+            _observed_report(0.4, 0.48), overhead_max=0.05,
+            overhead_floor_s=0.1)
+        assert not problems
+
+    def test_failed_scrape_is_a_problem_even_when_fast(self):
+        problems, _ = bench_check.check_observability(
+            _observed_report(10.0, 10.0, scrape_ok=False),
+            overhead_max=0.05, overhead_floor_s=0.1)
+        assert len(problems) == 1
+        assert "scrape" in problems[0]
+
+    def test_missing_phase_skips_gate(self):
+        problems, notes = bench_check.check_observability(
+            _report(), overhead_max=0.05, overhead_floor_s=0.1)
+        assert not problems
+        assert any("skipped" in n for n in notes)

@@ -1,0 +1,260 @@
+"""Tests for the HTTP control plane: adapters, status board, endpoints."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaign.executor import CellStats
+from repro.campaign.journal import RunRecord
+from repro.campaign.outcomes import Outcome, OutcomeCounts
+from repro.campaign.runner import CampaignResult
+from repro.observe.httpd import (
+    STATUS_VERSION,
+    CampaignMetrics,
+    ControlPlane,
+    StatusBoard,
+    board_from_results,
+    registry_from_results,
+)
+from repro.observe.trajectory import TrajectoryRecorder
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _record(outcome="Masked", run_index=0, wall_ms=2.0):
+    return RunRecord(workload="w", model="WA", point="VR15",
+                     run_index=run_index, outcome=outcome,
+                     wall_ms=wall_ms)
+
+
+def _stats(**kwargs):
+    defaults = dict(runs=4, executed=4, workers=2)
+    defaults.update(kwargs)
+    return CellStats(**defaults)
+
+
+def _result(counts=None, point="VR15"):
+    oc = OutcomeCounts()
+    for outcome, n in (counts or {"Masked": 3, "SDC": 1}).items():
+        for _ in range(n):
+            oc.record(Outcome(outcome))
+    return CampaignResult(workload="w", model="WA", point=point,
+                          counts=oc, error_ratio=0.1, seed=7,
+                          stats=_stats(runs=oc.total, executed=oc.total))
+
+
+def _drive_cell(observer, outcomes, runs=None):
+    runs = runs if runs is not None else len(outcomes)
+    observer.begin_cell("w", "WA", "VR15", runs=runs)
+    for i, outcome in enumerate(outcomes):
+        observer.on_run(_record(outcome, i), _stats(runs=runs))
+
+
+class TestCampaignMetrics:
+    def test_run_and_outcome_counters(self):
+        reg = MetricsRegistry()
+        adapter = CampaignMetrics(reg)
+        _drive_cell(adapter, ["Masked", "SDC", "Masked"])
+        assert reg.counter("repro_campaign_runs_total").value() == 3
+        outcomes = reg.counter("repro_campaign_outcome_total",
+                               labels=("outcome",))
+        assert outcomes.value(outcome="Masked") == 2
+        assert outcomes.value(outcome="SDC") == 1
+
+    def test_avm_gauges_track_running_estimate(self):
+        reg = MetricsRegistry()
+        adapter = CampaignMetrics(reg)
+        _drive_cell(adapter, ["Masked", "SDC", "Masked", "Masked"])
+        avm = reg.gauge("repro_campaign_avm", labels=("cell",))
+        assert avm.value(cell="w/WA/VR15") == 0.25
+        half = reg.gauge("repro_campaign_avm_ci_halfwidth",
+                         labels=("cell",))
+        assert half.value(cell="w/WA/VR15") > 0
+
+    def test_resumed_runs_counted_once(self):
+        reg = MetricsRegistry()
+        adapter = CampaignMetrics(reg)
+        adapter.begin_cell("w", "WA", "VR15", runs=10, resumed=6)
+        adapter.on_run(_record("Masked"), _stats())
+        assert reg.counter("repro_campaign_runs_total").value() == 7
+
+    def test_stats_totals_pinned_not_double_counted(self):
+        reg = MetricsRegistry()
+        adapter = CampaignMetrics(reg)
+        adapter.begin_cell("w", "WA", "VR15", runs=2)
+        stats = _stats(retries=3, watchdog_kills=1, worker_restarts=2)
+        adapter.on_run(_record("Masked", 0), stats)
+        adapter.on_run(_record("Masked", 1), stats)  # same totals again
+        retries = reg.counter("repro_campaign_retries_total",
+                              labels=("cell",))
+        assert retries.value(cell="w/WA/VR15") == 3
+
+    def test_worker_alive_lifecycle(self):
+        reg = MetricsRegistry()
+        adapter = CampaignMetrics(reg)
+        _drive_cell(adapter, ["Masked"])
+        alive = reg.gauge("repro_worker_alive")
+        assert alive.value() == 2
+        adapter.close()
+        assert alive.value() == 0
+
+    def test_end_cell_pins_final_avm_and_counts_cells(self):
+        reg = MetricsRegistry()
+        adapter = CampaignMetrics(reg)
+        _drive_cell(adapter, ["Masked", "SDC"])
+        adapter.end_cell(_result({"Masked": 3, "SDC": 1}))
+        avm = reg.gauge("repro_campaign_avm", labels=("cell",))
+        assert avm.value(cell="w/WA/VR15") == 0.25
+        assert reg.counter("repro_campaign_cells_total").value() == 1
+
+
+STATUS_KEYS = {"service", "version", "campaign", "port", "uptime_s",
+               "finished", "runs_done", "cells_done", "outcomes", "avm",
+               "current_cell", "workers", "cells"}
+
+
+class TestStatusBoard:
+    def test_snapshot_schema(self):
+        board = StatusBoard()
+        board.begin_campaign("kmeans", 2021, cells_total=2,
+                             extra={"scale": "tiny"})
+        _drive_cell(board, ["Masked", "SDC"])
+        doc = board.snapshot()
+        assert set(doc) == STATUS_KEYS
+        assert doc["service"] == "repro-control-plane"
+        assert doc["version"] == STATUS_VERSION
+        assert doc["campaign"]["benchmark"] == "kmeans"
+        assert doc["campaign"]["scale"] == "tiny"
+        assert doc["runs_done"] == 2
+        assert doc["outcomes"] == {"Masked": 1, "SDC": 1}
+        assert doc["current_cell"]["cell"] == "w/WA/VR15"
+        assert doc["current_cell"]["avm"]["avm"] == 0.5
+        assert doc["workers"]["pool_size"] == 2
+        assert not doc["finished"]
+        json.dumps(doc)  # must be JSON-serialisable
+
+    def test_end_cell_moves_current_to_cells(self):
+        board = StatusBoard()
+        _drive_cell(board, ["Masked", "SDC", "Masked", "Masked"])
+        board.end_cell(_result())
+        doc = board.snapshot()
+        assert doc["current_cell"] is None
+        assert doc["cells_done"] == 1
+        [cell] = doc["cells"]
+        assert cell["cell"] == "w/WA/VR15"
+        assert cell["runs"] == 4
+        assert cell["avm"]["avm"] == 0.25
+        assert cell["degraded"] is False
+
+    def test_close_marks_finished_and_workers_dead(self):
+        board = StatusBoard()
+        _drive_cell(board, ["Masked"])
+        board.close()
+        doc = board.snapshot()
+        assert doc["finished"] is True
+        assert doc["workers"]["alive"] == 0
+
+    def test_board_from_results_replays_journal_shape(self):
+        board = board_from_results(
+            [_result(point="VR15"), _result(point="VR20")],
+            benchmark="kmeans")
+        doc = board.snapshot()
+        assert set(doc) == STATUS_KEYS
+        assert doc["finished"] is True
+        assert doc["runs_done"] == 8
+        assert doc["cells_done"] == 2
+        assert doc["campaign"]["benchmark"] == "kmeans"
+        assert doc["campaign"]["seed"] == 7
+        assert doc["avm"]["avm"] == 0.25
+
+    def test_registry_from_results(self):
+        reg = registry_from_results([_result()])
+        assert reg.counter("repro_campaign_runs_total").value() == 4
+        outcomes = reg.counter("repro_campaign_outcome_total",
+                               labels=("outcome",))
+        assert outcomes.value(outcome="SDC") == 1
+        assert reg.counter("repro_campaign_cells_total").value() == 1
+
+
+def _get(port, path):
+    url = f"http://127.0.0.1:{port}{path}"
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), \
+            resp.read().decode()
+
+
+@pytest.fixture()
+def plane():
+    reg = MetricsRegistry()
+    adapter = CampaignMetrics(reg)
+    board = StatusBoard()
+    board.begin_campaign("kmeans", 2021, cells_total=1)
+    trajectory = TrajectoryRecorder()
+    for observer in (adapter, board, trajectory):
+        _drive_cell(observer, ["Masked", "SDC", "Masked", "Masked"])
+    plane = ControlPlane(reg, board, trajectory, port=0)
+    plane.start()
+    yield plane
+    plane.close()
+
+
+class TestControlPlane:
+    def test_ephemeral_port_bound_and_surfaced(self, plane):
+        # --metrics-port 0 asks the kernel; the bound port must be real
+        # and visible both on the plane and in /status.
+        assert plane.requested_port == 0
+        assert plane.port > 0
+        _, _, body = _get(plane.port, "/status")
+        assert json.loads(body)["port"] == plane.port
+
+    def test_metrics_endpoint_is_prometheus_text(self, plane):
+        status, ctype, body = _get(plane.port, "/metrics")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        assert "# TYPE repro_campaign_runs_total counter" in body
+        assert "repro_campaign_runs_total 4" in body
+        assert 'repro_campaign_outcome_total{outcome="SDC"} 1' in body
+        assert "repro_worker_alive 2" in body
+        assert 'repro_campaign_avm{cell="w/WA/VR15"} 0.25' in body
+
+    def test_status_endpoint_schema(self, plane):
+        status, ctype, body = _get(plane.port, "/status")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        doc = json.loads(body)
+        assert set(doc) == STATUS_KEYS
+        assert doc["runs_done"] == 4
+
+    def test_trajectory_endpoint_ndjson_and_cell_filter(self, plane):
+        status, ctype, body = _get(plane.port, "/trajectory")
+        assert status == 200
+        assert ctype.startswith("application/x-ndjson")
+        points = [json.loads(line) for line in body.splitlines() if line]
+        assert len(points) == 4
+        assert points[-1]["runs_done"] == 4
+        _, _, filtered = _get(plane.port, "/trajectory?cell=nope")
+        assert filtered == ""
+
+    def test_index_and_404(self, plane):
+        status, _, body = _get(plane.port, "/")
+        assert status == 200 and "/metrics" in body
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(plane.port, "/bogus")
+        assert excinfo.value.code == 404
+
+    def test_close_releases_port(self, plane):
+        port = plane.port
+        plane.close()
+        with pytest.raises(urllib.error.URLError):
+            _get(port, "/status")
+
+    def test_plane_without_observers_still_serves(self):
+        with ControlPlane() as plane:
+            _, _, metrics = _get(plane.port, "/metrics")
+            assert metrics == ""
+            _, _, body = _get(plane.port, "/status")
+            doc = json.loads(body)
+            assert doc["service"] == "repro-control-plane"
+            _, _, traj = _get(plane.port, "/trajectory")
+            assert traj == ""

@@ -1,0 +1,229 @@
+"""Tests for the metrics registry and the Prometheus text encoder."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import metrics
+from repro.telemetry.core import Stat
+from repro.telemetry.export import (
+    escape_help,
+    escape_label_value,
+    render_prometheus,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    Summary,
+    sanitize_metric_name,
+)
+
+
+class TestFamilies:
+    def test_counter_accumulates(self):
+        c = Counter("runs_total")
+        c.inc()
+        c.inc(3)
+        assert c.value() == 4
+
+    def test_counter_rejects_negative(self):
+        c = Counter("runs_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_counter_set_total_never_goes_backwards(self):
+        c = Counter("runs_total")
+        c.set_total(10)
+        c.set_total(7)       # stale re-sync must not regress
+        assert c.value() == 10
+        c.set_total(12)
+        assert c.value() == 12
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("workers_alive")
+        g.set(4)
+        g.dec()
+        g.inc(2)
+        assert g.value() == 5
+
+    def test_labelled_samples_are_independent(self):
+        c = Counter("outcome_total", label_names=("outcome",))
+        c.inc(outcome="Masked")
+        c.inc(2, outcome="SDC")
+        assert c.value(outcome="Masked") == 1
+        assert c.value(outcome="SDC") == 2
+
+    def test_wrong_labels_raise(self):
+        c = Counter("outcome_total", label_names=("outcome",))
+        with pytest.raises(ValueError):
+            c.inc(cell="x")
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_summary_wraps_stat(self):
+        s = Summary("wall_ms")
+        for v in (1.0, 3.0, 2.0):
+            s.observe(v)
+        stat = s.stat()
+        assert stat.count == 3
+        assert stat.total == 6.0
+        assert stat.min == 1.0
+        assert stat.max == 3.0
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("bad name!")
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("campaign.runs") == "campaign_runs"
+        assert sanitize_metric_name("9lives").startswith("_")
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total")
+        with pytest.raises(ValueError):
+            reg.gauge("a_total")
+
+    def test_label_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", labels=("cell",))
+        with pytest.raises(ValueError):
+            reg.counter("a_total", labels=("outcome",))
+
+    def test_collect_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.gauge("zeta")
+        reg.counter("alpha_total")
+        assert [f.name for f in reg.collect()] == ["alpha_total", "zeta"]
+
+    def test_sync_from_telemetry_bridges_counters_and_stats(self):
+        reg = MetricsRegistry()
+        snapshot = {
+            "counters": {"campaign.runs": 24, "journal.appends": 7},
+            "stats": {"guest.wall_ms": {"count": 2, "total": 10.0,
+                                        "min": 4.0, "max": 6.0}},
+        }
+        reg.sync_from_telemetry(snapshot)
+        assert reg.counter("repro_campaign_runs_total").value() == 24
+        assert reg.counter("repro_journal_appends_total").value() == 7
+        stat = reg.summary("repro_guest_wall_ms").stat()
+        assert stat.count == 2 and stat.max == 6.0
+        # Re-sync with a larger snapshot moves forward, never doubles.
+        snapshot["counters"]["campaign.runs"] = 30
+        reg.sync_from_telemetry(snapshot)
+        assert reg.counter("repro_campaign_runs_total").value() == 30
+
+    def test_sync_skips_names_already_registered_with_labels(self):
+        # The campaign adapter owns repro_campaign_retries_total{cell};
+        # the collector's `campaign.retries` path sanitizes to the same
+        # family name.  The bridge must skip it, not kill the scrape.
+        reg = MetricsRegistry()
+        retries = reg.counter("repro_campaign_retries_total",
+                              labels=("cell",))
+        retries.inc(3, cell="w/WA/VR15")
+        reg.sync_from_telemetry(
+            {"counters": {"campaign.retries": 99, "campaign.runs": 4}})
+        assert retries.value(cell="w/WA/VR15") == 3
+        assert reg.counter("repro_campaign_runs_total").value() == 4
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total")
+        def worker():
+            for _ in range(1000):
+                c.inc()
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 4000
+
+
+class TestModuleFastPath:
+    def test_disabled_means_none(self):
+        metrics.disable()
+        assert metrics.get_registry() is None
+        assert not metrics.enabled()
+
+    def test_enable_disable_cycle(self):
+        try:
+            reg = metrics.enable()
+            assert metrics.enabled()
+            assert metrics.get_registry() is reg
+            assert metrics.enable() is reg  # idempotent
+        finally:
+            metrics.disable()
+        assert not metrics.enabled()
+
+
+class TestPrometheusEncoder:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_campaign_runs_total", "Classified runs").inc(24)
+        reg.gauge("repro_worker_alive", "Live workers").set(2)
+        text = render_prometheus(reg)
+        assert "# HELP repro_campaign_runs_total Classified runs" in text
+        assert "# TYPE repro_campaign_runs_total counter" in text
+        assert "repro_campaign_runs_total 24" in text
+        assert "# TYPE repro_worker_alive gauge" in text
+        assert "repro_worker_alive 2" in text
+        assert text.endswith("\n")
+
+    def test_labelled_samples_sorted_and_quoted(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_campaign_outcome_total", labels=("outcome",))
+        c.inc(3, outcome="SDC")
+        c.inc(9, outcome="Masked")
+        text = render_prometheus(reg)
+        masked = text.index('outcome="Masked"')
+        sdc = text.index('outcome="SDC"')
+        assert masked < sdc  # deterministic ordering by label value
+        assert 'repro_campaign_outcome_total{outcome="SDC"} 3' in text
+
+    def test_summary_renders_count_sum_min_max(self):
+        reg = MetricsRegistry()
+        s = reg.summary("repro_run_wall_ms")
+        s.observe(4.0)
+        s.observe(6.0)
+        text = render_prometheus(reg)
+        assert "# TYPE repro_run_wall_ms summary" in text
+        assert "repro_run_wall_ms_count 2" in text
+        assert "repro_run_wall_ms_sum 10" in text
+        assert "repro_run_wall_ms_min 4" in text
+        assert "repro_run_wall_ms_max 6" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_label_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        assert escape_help("x\ny") == "x\\ny"
+
+    def test_special_float_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("g_nan").set(float("nan"))
+        reg.gauge("g_inf").set(float("inf"))
+        text = render_prometheus(reg)
+        assert "g_nan NaN" in text
+        assert "g_inf +Inf" in text
+
+    def test_lines_parse_as_exposition(self):
+        # Every non-comment line must be `<name>[{labels}] <value>`.
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help").inc()
+        reg.summary("b_ms", labels=("cell",)).observe(1.5, cell="w/WA/VR15")
+        for line in render_prometheus(reg).strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            assert name_part[0].isalpha() or name_part[0] == "_"

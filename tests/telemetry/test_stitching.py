@@ -1,0 +1,202 @@
+"""Tests for cross-process trace stitching.
+
+TraceContext narrowing, context-stamped span attributes, worker-side
+span buffering shipped through drain()/merge(), and the query helpers
+(`span_summary`, `spans_for_run`) that reassemble one causal trace.
+"""
+
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.core import Collector, TraceContext
+from repro.telemetry.sinks import (
+    span_summary,
+    span_summary_table,
+    spans_for_run,
+)
+
+
+class _ListSink:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, payload):
+        self.events.append(dict(payload))
+
+    def on_span(self, record):
+        self.events.append({"type": "span", "name": record.name,
+                            "path": record.path, "depth": record.depth,
+                            "duration_ms": record.duration_s * 1000.0,
+                            "attrs": dict(record.attrs or {})})
+
+
+def _close_span(collector, name, duration_s=0.001):
+    """Open and immediately close one span on a bare collector."""
+    path = collector.open_span(name)
+    collector.close_span(name, path, duration_s, None)
+
+
+@pytest.fixture(autouse=True)
+def _clean_context():
+    telemetry.clear_trace_context()
+    yield
+    telemetry.clear_trace_context()
+    telemetry.disable()
+
+
+class TestTraceContext:
+    def test_narrowing_is_immutable(self):
+        base = TraceContext(campaign_id="c1")
+        cell = base.for_cell("w/WA/VR15")
+        run = cell.for_run("w/WA/VR15/3", attempt=1)
+        assert base.cell == "" and base.run_key == ""
+        assert cell.cell == "w/WA/VR15" and cell.run_key == ""
+        assert run.run_key == "w/WA/VR15/3" and run.attempt == 1
+
+    def test_for_cell_resets_run(self):
+        ctx = (TraceContext(campaign_id="c1")
+               .for_run("old/run/0", attempt=2)
+               .for_cell("w/WA/VR20"))
+        assert ctx.run_key == "" and ctx.attempt == 0
+
+    def test_to_attrs_omits_empty_fields(self):
+        assert TraceContext(campaign_id="c1").to_attrs() == {
+            "campaign_id": "c1"}
+        full = (TraceContext(campaign_id="c1").for_cell("cell")
+                .for_run("cell/0")).to_attrs()
+        assert full == {"campaign_id": "c1", "cell": "cell",
+                        "run_key": "cell/0", "attempt": 0}
+
+    def test_module_slot_roundtrip(self):
+        ctx = TraceContext(campaign_id="c2")
+        telemetry.set_trace_context(ctx)
+        assert telemetry.get_trace_context() is ctx
+        telemetry.clear_trace_context()
+        assert telemetry.get_trace_context() is None
+
+
+class TestContextStamping:
+    def test_spans_carry_context_pid_and_ts(self):
+        collector = telemetry.enable()
+        sink = _ListSink()
+        collector.add_sink(sink)
+        telemetry.set_trace_context(
+            TraceContext(campaign_id="c1").for_run("w/WA/VR15/0"))
+        with telemetry.span("campaign.run"):
+            pass
+        [event] = [e for e in sink.events if e["type"] == "span"]
+        attrs = event["attrs"]
+        assert attrs["campaign_id"] == "c1"
+        assert attrs["run_key"] == "w/WA/VR15/0"
+        assert attrs["pid"] == os.getpid()
+        assert attrs["ts"] > 0
+
+    def test_no_context_means_no_stamp(self):
+        collector = telemetry.enable()
+        sink = _ListSink()
+        collector.add_sink(sink)
+        with telemetry.span("campaign.run"):
+            pass
+        [event] = [e for e in sink.events if e["type"] == "span"]
+        assert "campaign_id" not in event["attrs"]
+        assert "pid" not in event["attrs"]
+
+
+class TestWorkerSpanShipping:
+    def test_buffered_spans_ride_the_drain(self):
+        worker = Collector()
+        worker.buffer_spans(limit=8)
+        telemetry.set_trace_context(
+            TraceContext(campaign_id="c1").for_run("cell/0"))
+        _close_span(worker, "guest.step")
+        telemetry.clear_trace_context()
+        delta = worker.drain()
+        assert len(delta["spans"]) == 1
+        assert delta["spans"][0]["attrs"]["run_key"] == "cell/0"
+        # drain resets the buffer
+        assert "spans" not in worker.drain()
+
+    def test_merge_reemits_worker_spans_to_parent_sinks(self):
+        worker = Collector()
+        worker.buffer_spans()
+        _close_span(worker, "guest.step")
+        delta = worker.drain()
+
+        parent = Collector()
+        sink = _ListSink()
+        parent.add_sink(sink)
+        parent.merge_snapshot(delta)
+        spans = [e for e in sink.events if e["type"] == "span"]
+        assert [s["name"] for s in spans] == ["guest.step"]
+
+    def test_buffer_overflow_counts_drops(self):
+        worker = Collector()
+        worker.buffer_spans(limit=2)
+        for _ in range(5):
+            _close_span(worker, "guest.step")
+        delta = worker.drain()
+        assert len(delta["spans"]) == 2
+        assert delta["spans_dropped"] == 3
+
+        parent = Collector()
+        parent.merge_snapshot(delta)
+        assert parent.snapshot()["counters"]["trace.spans_dropped"] == 3
+
+    def test_unbuffered_collector_ships_no_spans(self):
+        worker = Collector()
+        _close_span(worker, "guest.step")
+        assert "spans" not in worker.drain()
+
+
+def _span(name, ms, run_key=None, ts=0.0, pid=0, path=None):
+    attrs = {}
+    if run_key is not None:
+        attrs = {"run_key": run_key, "ts": ts, "pid": pid}
+    return {"type": "span", "name": name, "path": path or name,
+            "duration_ms": ms, "attrs": attrs}
+
+
+class TestSpanSummary:
+    def test_sorted_by_total_desc_with_name_tiebreak(self):
+        events = [
+            _span("fast", 1.0), _span("fast", 1.0),
+            _span("slow", 10.0),
+            # Two families with identical totals: name breaks the tie,
+            # so the table order is stable run to run.
+            _span("bbb", 5.0), _span("aaa", 5.0),
+        ]
+        rows = span_summary(events)
+        assert [name for name, _ in rows] == ["slow", "aaa", "bbb", "fast"]
+        assert rows[0][1].count == 1
+        assert rows[3][1].total == 2.0
+
+    def test_non_span_events_ignored(self):
+        events = [{"type": "counter", "name": "x"}, _span("a", 2.0)]
+        assert [name for name, _ in span_summary(events)] == ["a"]
+
+    def test_table_renders_and_handles_empty(self):
+        text = span_summary_table([_span("campaign.run", 3.5)])
+        assert "span summary (by total time)" in text
+        assert "campaign.run" in text
+        assert "(no spans recorded)" in span_summary_table([])
+
+
+class TestSpansForRun:
+    def test_filters_and_orders_by_wallclock(self):
+        events = [
+            _span("parent", 5.0, run_key="cell/0", ts=3.0, pid=100),
+            _span("worker", 2.0, run_key="cell/0", ts=1.0, pid=200),
+            _span("other", 9.9, run_key="cell/1", ts=0.5, pid=200),
+            _span("unstamped", 1.0),
+        ]
+        trail = spans_for_run(events, "cell/0")
+        assert [s["name"] for s in trail] == ["worker", "parent"]
+
+    def test_pid_and_path_break_ts_ties(self):
+        events = [
+            _span("b", 1.0, run_key="r", ts=1.0, pid=2),
+            _span("a", 1.0, run_key="r", ts=1.0, pid=1),
+        ]
+        assert [s["name"] for s in spans_for_run(events, "r")] == ["a", "b"]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import time
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -118,3 +120,101 @@ class TestObservabilityCli:
         assert text.startswith("<!DOCTYPE html>")
         assert "kmeans" in text
         assert "http" not in text
+
+
+class TestControlPlaneCli:
+    def test_serve_flag_ephemeral_port_and_port_file(self, tmp_path,
+                                                     capsys):
+        port_file = tmp_path / "port.txt"
+        assert main(["campaign", "kmeans", "--scale", "tiny", "--runs", "4",
+                     "--vr", "20", "--serve", "--metrics-port", "0",
+                     "--port-file", str(port_file)]) == 0
+        err = capsys.readouterr().err
+        assert "control plane: http://127.0.0.1:" in err
+        port = int(port_file.read_text().strip())
+        assert 0 < port < 65536
+        advertised = int(err.split("http://127.0.0.1:")[1].split()[0]
+                         .rstrip("/"))
+        assert advertised == port
+
+    def test_serve_command_rebuilds_endpoints_post_hoc(self, tmp_path,
+                                                       capsys):
+        import json
+        import threading
+        import urllib.request
+
+        journal = tmp_path / "j.jsonl"
+        traj = tmp_path / "traj.jsonl"
+        assert main(["campaign", "kmeans", "--scale", "tiny", "--runs", "6",
+                     "--vr", "20", "--journal", str(journal),
+                     "--trajectory", str(traj)]) == 0
+        capsys.readouterr()
+
+        port_file = tmp_path / "port.txt"
+        thread = threading.Thread(target=main, args=([
+            "serve", "--journal", str(journal), "--trajectory", str(traj),
+            "--benchmark", "kmeans", "--metrics-port", "0",
+            "--port-file", str(port_file), "--duration", "10",
+        ],), daemon=True)
+        thread.start()
+        port = None
+        for _ in range(200):
+            if port_file.exists() and port_file.read_text().strip():
+                port = int(port_file.read_text().strip())
+                break
+            time.sleep(0.05)
+        assert port, "serve never wrote its port file"
+
+        def get(path):
+            url = f"http://127.0.0.1:{port}{path}"
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                return resp.read().decode()
+
+        doc = json.loads(get("/status"))
+        assert doc["finished"] is True
+        assert doc["runs_done"] == 6
+        assert doc["campaign"]["benchmark"] == "kmeans"
+        metrics = get("/metrics")
+        assert "repro_campaign_runs_total 6" in metrics
+        points = [json.loads(l) for l in get("/trajectory").splitlines()
+                  if l]
+        assert points[-1]["runs_done"] == 6
+
+    def test_serve_command_empty_journal_is_an_error(self, tmp_path):
+        journal = tmp_path / "empty.jsonl"
+        journal.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--journal", str(journal)])
+        assert "no campaign results" in str(excinfo.value)
+
+    def test_trace_summary_appends_span_table(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["campaign", "kmeans", "--scale", "tiny", "--runs", "4",
+                     "--vr", "20", "--trace", str(trace), "--flight"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "query", str(trace), "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "span summary (by total time)" in out
+        assert "campaign.run" in out
+
+    def test_trace_explain_includes_stitched_spans(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["campaign", "kmeans", "--scale", "tiny", "--runs", "4",
+                     "--vr", "20", "--trace", str(trace), "--flight"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "query", str(trace), "--run", "1",
+                     "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "spans (kmeans/" in out
+        assert "duration ms" in out
+
+    def test_report_with_trajectory_section(self, tmp_path, capsys):
+        journal = tmp_path / "j.jsonl"
+        traj = tmp_path / "traj.jsonl"
+        html = tmp_path / "r.html"
+        assert main(["campaign", "kmeans", "--scale", "tiny", "--runs", "4",
+                     "--vr", "20", "--journal", str(journal),
+                     "--trajectory", str(traj)]) == 0
+        assert main(["report", "--journal", str(journal),
+                     "--trajectory", str(traj), "--html", str(html)]) == 0
+        assert "CI convergence" in html.read_text()
