@@ -30,7 +30,13 @@ Times the paper's two phases with telemetry enabled:
    CI-trajectory recorder behind a MonitorMux, the HTTP control plane
    serving /metrics, /status and /trajectory on an ephemeral port, and
    a campaign trace context stamping spans — measuring the cost of
-   watching a campaign (gated within a few percent in bench_check).
+   watching a campaign (gated within a few percent in bench_check),
+10. *campaign_adaptive*: the identical cells under the sequential
+    CI-target stopping rule — each cell halts at the first predeclared
+    look whose anytime-valid interval is tight enough, so the phase
+    measures the runs-saved fraction and proves the early verdicts
+    agree with fixed-N (every fixed AVM inside the adaptive stop
+    interval; gated in bench_check).
 
 The campaign phases run at their own ``--campaign-scale`` (default
 ``small``): guest execution has to dominate the per-run planning
@@ -61,6 +67,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import telemetry                              # noqa: E402
+from repro.campaign.adaptive import AdaptiveConfig       # noqa: E402
 from repro.campaign.executor import (                    # noqa: E402
     CampaignExecutor,
     ExecutorConfig,
@@ -98,13 +105,17 @@ from repro.workloads import make_workload                # noqa: E402
 #: with the metrics registry, status board, trajectory recorder and
 #: HTTP control plane attached) and the observability block (overhead
 #: fraction vs the unobserved campaign, scrape liveness, trajectory
-#: point count).
-SCHEMA_VERSION = 6
+#: point count).  v7 adds the campaign_adaptive phase (the same cells
+#: under the sequential CI-target stopping rule) and the adaptive block
+#: (runs saved at equal verdicts: every fixed-N AVM must land inside
+#: the adaptive stop interval).
+SCHEMA_VERSION = 7
 
 PHASES = ("golden", "characterize", "characterize_parallel",
           "characterize_warm", "characterize_gate",
           "characterize_bitparallel", "campaign", "campaign_journal",
-          "campaign_fastforward", "campaign_observed")
+          "campaign_fastforward", "campaign_observed",
+          "campaign_adaptive")
 
 DEFAULT_BENCHMARKS = ("kmeans", "hotspot")
 
@@ -259,7 +270,9 @@ def bench_pipeline(args) -> dict:
     # Campaign phases run at their own scale so guest execution (the
     # part fast-forward accelerates) dominates the per-run planning
     # overhead shared by both sides.  Golden builds happen outside the
-    # timed region on both sides.
+    # timed region on both sides.  The fixed-N AVMs feed the adaptive
+    # phase's verdict-equality check.
+    fixed_avms = {}
     for name in args.benchmarks:
         workload = make_workload(name, scale=args.campaign_scale,
                                  seed=args.seed)
@@ -272,7 +285,9 @@ def bench_pipeline(args) -> dict:
         config = ExecutorConfig(workers=args.workers)
         with CampaignExecutor(runner, config=config) as executor:
             for point in points:
-                executor.run_cell(models[name], point, runs=args.runs)
+                result = executor.run_cell(models[name], point,
+                                           runs=args.runs)
+                fixed_avms[f"{name}/{point.name}"] = result.avm
         phases["campaign"]["per_benchmark"][name] = (
             time.perf_counter() - start
         )
@@ -408,6 +423,65 @@ def bench_pipeline(args) -> dict:
         phases["campaign_observed"]["per_benchmark"].values()
     )
 
+    # The identical cells under the sequential CI-target stopping rule:
+    # same seeds, same RNG substreams, so every adaptive cell is an
+    # exact prefix of the fixed-N campaign above.  The block records the
+    # runs saved and checks the verdicts agree — each fixed-N AVM must
+    # land inside the adaptive stop interval (gated in bench_check).
+    adaptive_config = AdaptiveConfig(ci_target=args.adaptive_ci_target,
+                                     min_runs=args.adaptive_min_runs)
+    adaptive_cells = []
+    for name in args.benchmarks:
+        workload = make_workload(name, scale=args.campaign_scale,
+                                 seed=args.seed)
+        runner = CampaignRunner(
+            workload, seed=args.seed,
+            fastforward=FastForwardConfig(enabled=False),
+        )
+        runner.golden()
+        start = time.perf_counter()
+        config = ExecutorConfig(workers=args.workers)
+        with CampaignExecutor(runner, config=config) as executor:
+            for point in points:
+                result = executor.run_cell(models[name], point,
+                                           runs=args.runs,
+                                           adaptive=adaptive_config)
+                stop = result.stats.stop
+                cell = f"{name}/{point.name}"
+                fixed = fixed_avms[cell]
+                entry = {
+                    "cell": cell,
+                    "rule": stop.rule if stop else "budget",
+                    "n": int(stop.n) if stop else args.runs,
+                    "saved": int(stop.runs_saved) if stop else 0,
+                    "avm": result.avm,
+                    "ci_lo": stop.ci_lo if stop else 0.0,
+                    "ci_hi": stop.ci_hi if stop else 1.0,
+                    "fixed_avm": fixed,
+                }
+                entry["verdict_equal"] = bool(
+                    entry["ci_lo"] <= fixed <= entry["ci_hi"])
+                adaptive_cells.append(entry)
+        phases["campaign_adaptive"]["per_benchmark"][name] = (
+            time.perf_counter() - start
+        )
+    phases["campaign_adaptive"]["wall_s"] = sum(
+        phases["campaign_adaptive"]["per_benchmark"].values()
+    )
+    adaptive_budget = args.runs * len(adaptive_cells)
+    adaptive_executed = sum(c["n"] for c in adaptive_cells)
+    adaptive_block = {
+        "ci_target": args.adaptive_ci_target,
+        "min_runs": args.adaptive_min_runs,
+        "budget_runs": adaptive_budget,
+        "executed_runs": adaptive_executed,
+        "savings_fraction": ((adaptive_budget - adaptive_executed)
+                             / adaptive_budget
+                             if adaptive_budget > 0 else None),
+        "verdicts_equal": all(c["verdict_equal"] for c in adaptive_cells),
+        "cells": adaptive_cells,
+    }
+
     snapshot = telemetry.snapshot()
     telemetry.disable()
 
@@ -503,6 +577,8 @@ def bench_pipeline(args) -> dict:
                                   if args.snapshot_interval is not None
                                   else "inf"),
             "fsync": args.fsync,
+            "adaptive_ci_target": args.adaptive_ci_target,
+            "adaptive_min_runs": args.adaptive_min_runs,
         },
         "micro_dta": micro,
         "phases": phases,
@@ -511,6 +587,7 @@ def bench_pipeline(args) -> dict:
         "journal": journal_block,
         "fastforward": fastforward_block,
         "observability": observability_block,
+        "adaptive": adaptive_block,
         "layers": layers,
         "telemetry": snapshot,
     }
@@ -585,6 +662,27 @@ def validate(data) -> list:
         need(fastforward, key, int, "$.fastforward")
     need(fastforward, "stores", list, "$.fastforward")
 
+    adaptive = need(data, "adaptive", dict, "$") or {}
+    need(adaptive, "ci_target", (int, float), "$.adaptive")
+    need(adaptive, "min_runs", int, "$.adaptive")
+    need(adaptive, "budget_runs", int, "$.adaptive")
+    need(adaptive, "executed_runs", int, "$.adaptive")
+    savings = need(adaptive, "savings_fraction", (int, float), "$.adaptive")
+    if savings is not None and not 0.0 <= savings <= 1.0:
+        problems.append("$.adaptive.savings_fraction is outside [0, 1]")
+    verdicts = need(adaptive, "verdicts_equal", bool, "$.adaptive")
+    if verdicts is False:
+        problems.append("$.adaptive.verdicts_equal is false: a fixed-N "
+                        "AVM fell outside its adaptive stop interval")
+    cells = need(adaptive, "cells", list, "$.adaptive") or []
+    for index, cell in enumerate(cells):
+        for key in ("cell", "rule"):
+            need(cell, key, str, f"$.adaptive.cells[{index}]")
+        for key in ("n", "saved"):
+            need(cell, key, int, f"$.adaptive.cells[{index}]")
+        for key in ("avm", "ci_lo", "ci_hi", "fixed_avm"):
+            need(cell, key, (int, float), f"$.adaptive.cells[{index}]")
+
     observability = need(data, "observability", dict, "$") or {}
     need(observability, "overhead", (int, float), "$.observability")
     scrape = need(observability, "scrape_ok", bool, "$.observability")
@@ -650,6 +748,13 @@ def main(argv=None) -> int:
                         help="journal fsync policy for the "
                              "campaign_journal phase (default: the "
                              "executor's group-commit default)")
+    parser.add_argument("--adaptive-ci-target", type=float, default=0.3,
+                        help="adaptive stop half-width for the "
+                             "campaign_adaptive phase (loose enough for "
+                             "the small bench cells to converge)")
+    parser.add_argument("--adaptive-min-runs", type=int, default=6,
+                        help="adaptive floor: never stop a bench cell "
+                             "below this many runs")
     parser.add_argument("--seed", type=int, default=2021)
     parser.add_argument("--benchmarks", default=",".join(DEFAULT_BENCHMARKS),
                         help="comma-separated benchmark list")
@@ -716,6 +821,12 @@ def main(argv=None) -> int:
           f"(scrape {'ok' if obs['scrape_ok'] else 'FAILED'}, "
           f"{obs['trajectory_points']} trajectory points, "
           f"{obs['runs_observed']} runs observed)")
+    adaptive = data["adaptive"]
+    print(f"  adaptive sampling     : "
+          f"{adaptive['executed_runs']}/{adaptive['budget_runs']} runs "
+          f"({adaptive['savings_fraction']:.0%} saved at ±"
+          f"{adaptive['ci_target']}, verdicts "
+          f"{'equal' if adaptive['verdicts_equal'] else 'DIVERGED'})")
     for layer in ("eventsim", "dta", "bitsim", "executor"):
         print(f"  [{layer}] {data['layers'][layer]['wall_s']:8.3f}s")
     return 0

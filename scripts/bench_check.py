@@ -47,6 +47,14 @@ attached) may cost at most ``--observability-overhead-max`` over the
 unobserved campaign phase (with a small absolute floor for noise), and
 the control plane's mid-run scrape must have served the documented
 series.  Reports without the phase skip the gate.
+
+Schema v7 reports also gate the adaptive sampler on the candidate
+alone: the campaign_adaptive phase (the same cells under the
+sequential CI-target stopping rule) must save at least
+``--adaptive-savings-min`` of the fixed-N run budget, and every
+fixed-N AVM must land inside its cell's adaptive stop interval
+(verdicts_equal) — runs saved only count when the verdict is
+unchanged.  Reports without the phase skip the gate.
 """
 
 import argparse
@@ -313,6 +321,48 @@ def check_observability(candidate: dict, overhead_max: float,
     return problems, notes
 
 
+def check_adaptive(candidate: dict, savings_min: float):
+    """Candidate-only adaptive-sampling gate; ``(problems, notes)``.
+
+    The campaign and campaign_adaptive phases run the same seeded
+    cells, and every adaptive cell is an exact run-for-run prefix of
+    its fixed-N twin, so the saved fraction is a pure sampler win —
+    but it only counts at an equal verdict: each fixed-N AVM must land
+    inside the adaptive stop interval, or the early stop changed the
+    answer and the gate fails regardless of the savings.
+    """
+    problems = []
+    notes = []
+    phases = candidate.get("phases") or {}
+    if (phases.get("campaign_adaptive") or {}).get("wall_s") is None:
+        notes.append("adaptive gate skipped: no campaign_adaptive phase "
+                     "in candidate")
+        return problems, notes
+    block = candidate.get("adaptive") or {}
+    if block.get("verdicts_equal") is False:
+        bad = [cell.get("cell", "?") for cell in block.get("cells", [])
+               if cell.get("verdict_equal") is False]
+        problems.append(
+            "adaptive verdicts diverged from fixed-N (fixed AVM outside "
+            f"the stop interval) in: {', '.join(bad) or 'unknown cells'}")
+    savings = block.get("savings_fraction")
+    executed = block.get("executed_runs", "?")
+    budget = block.get("budget_runs", "?")
+    if savings is None:
+        notes.append("adaptive savings gate skipped: no savings_fraction "
+                     "in candidate")
+    elif savings < savings_min:
+        problems.append(
+            f"adaptive sampler saved only {savings:.0%} of the run "
+            f"budget ({executed}/{budget} runs), below the "
+            f"{savings_min:.0%} gate")
+    else:
+        notes.append(f"adaptive sampler saved {savings:.0%} of the run "
+                     f"budget ({executed}/{budget} runs, gate: >= "
+                     f"{savings_min:.0%})")
+    return problems, notes
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate a fresh pipeline benchmark against the "
@@ -364,6 +414,11 @@ def main(argv=None) -> int:
                         help="absolute floor of the observability "
                              "overhead budget (noise guard for "
                              "sub-second campaign phases)")
+    parser.add_argument("--adaptive-savings-min", type=float,
+                        default=0.25,
+                        help="required fraction of the fixed-N run "
+                             "budget saved by the campaign_adaptive "
+                             "phase at equal verdicts (default 0.25)")
     args = parser.parse_args(argv)
 
     try:
@@ -398,9 +453,12 @@ def main(argv=None) -> int:
     obs_problems, obs_notes = check_observability(
         candidate, args.observability_overhead_max,
         args.observability_overhead_floor_seconds)
+    adaptive_problems, adaptive_notes = check_adaptive(
+        candidate, args.adaptive_savings_min)
     pipeline_problems += (ff_problems + journal_problems + bitsim_problems
-                          + obs_problems)
-    pipeline_notes += ff_notes + journal_notes + bitsim_notes + obs_notes
+                          + obs_problems + adaptive_problems)
+    pipeline_notes += (ff_notes + journal_notes + bitsim_notes + obs_notes
+                       + adaptive_notes)
     for note in pipeline_notes:
         print(f"bench_check: {note}")
     failed = False

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 from typing import Dict, List, Optional
 
+from repro.campaign.adaptive import AdaptiveCellStream, AdaptiveConfig
 from repro.campaign.journal import RunJournal, RunRecord, run_key
 from repro.campaign.outcomes import Outcome, OutcomeCounts
 from repro.campaign.runner import (
@@ -108,6 +109,13 @@ class CellStats:
     ff_ops_replayed: int = 0     # FP ops actually executed in suffixes
     ff_corrupt: int = 0          # snapshots quarantined on failed restore
     ff_cold_starts: int = 0      # runs restarted from the initial state
+    # Adaptive sequential-sampling accounting (zero/None when off).
+    adaptive: bool = False       # the cell ran under a stopping rule
+    stop: Optional[object] = None  # the StopDecision, when one was made
+    runs_saved: int = 0          # budget minus runs consumed at the stop
+    runs_discarded: int = 0      # speculative results dropped at the stop
+    weight_sum: float = 0.0      # Σ importance weights over counted runs
+    weighted_non_masked: float = 0.0  # Σ weight·1[non-masked]
 
 
 class _WorkerHandle:
@@ -164,6 +172,36 @@ class _WorkerHandle:
             self.conn.close()
         except OSError:  # pragma: no cover - already closed
             pass
+
+
+class _FixedStream:
+    """Fixed-range cell as a trivial run stream (commit on arrival).
+
+    The historical executor behaviour, expressed through the same
+    reserve/deliver/abandon interface
+    :class:`~repro.campaign.adaptive.AdaptiveCellStream` implements, so
+    serial and pool dispatch have exactly one code path each.  Never
+    stops, never buffers: a delivered record is released immediately.
+    """
+
+    decision = None
+    stopped = False
+    discarded = 0
+
+    def __init__(self, pending: List[int]):
+        self._pending = deque(pending)
+        self.backlog = len(pending)
+        self.consumed: List[int] = []
+
+    def reserve(self) -> Optional[int]:
+        return self._pending.popleft() if self._pending else None
+
+    def deliver(self, run_index: int, record, meta=None):
+        self.consumed.append(run_index)
+        return [(record, meta)]
+
+    def abandon(self, run_index: int):
+        return []
 
 
 def _chaos_active():
@@ -269,6 +307,7 @@ def _worker_main(conn, runner: CampaignRunner, model: ErrorModel,
                 "watchdog": execution.watchdog,
                 "unexpected": execution.unexpected,
                 "wall_ms": (time.monotonic() - start) * 1000.0,
+                "weight": execution.weight,
             }
             if execution.flight is not None:
                 message["flight"] = execution.flight
@@ -294,6 +333,10 @@ class CampaignExecutor:
         self.runner = runner
         self.config = config or ExecutorConfig()
         self.monitor = monitor
+        # Records of completed adaptive cells, kept so a reallocation
+        # grant (re-entering run_cell with a raised ceiling) resumes
+        # from memory even without a journal.
+        self._adaptive_cache: Dict[tuple, Dict[int, RunRecord]] = {}
         self._owns_journal = False
         if journal is not None:
             self.journal = journal
@@ -323,7 +366,9 @@ class CampaignExecutor:
 
     # -- cell execution ----------------------------------------------------------
     def run_cell(self, model: ErrorModel, point: OperatingPoint,
-                 runs: Optional[int] = None) -> CampaignResult:
+                 runs: Optional[int] = None,
+                 adaptive: Optional[AdaptiveConfig] = None
+                 ) -> CampaignResult:
         if runs is None:
             runs = confidence_sample_size()  # 1068
         # Narrow the campaign-level trace context to this cell before
@@ -339,17 +384,21 @@ class CampaignExecutor:
                                 workload=self.runner.workload.name,
                                 model=model.name, point=point.name,
                                 runs=runs):
-                return self._run_cell(model, point, runs)
+                return self._run_cell(model, point, runs,
+                                      adaptive=adaptive)
         finally:
             if base_ctx is not None:
                 telemetry.set_trace_context(base_ctx)
 
     def _run_cell(self, model: ErrorModel, point: OperatingPoint,
-                  runs: int) -> CampaignResult:
+                  runs: int,
+                  adaptive: Optional[AdaptiveConfig] = None
+                  ) -> CampaignResult:
         start = time.monotonic()
         golden = self.runner.golden()  # harness-side: a failure here is fatal
         stats = CellStats(runs=runs)
         workload = self.runner.workload.name
+        cell_key = (workload, model.name, point.name)
 
         records: Dict[int, RunRecord] = {}
         if self.journal is not None:
@@ -357,34 +406,68 @@ class CampaignExecutor:
                     workload, model.name, point.name).items():
                 if 0 <= idx < runs:
                     records[idx] = record
-            stats.resumed = len(records)
+        if adaptive is not None:
+            # A previous adaptive pass over this cell (e.g. before a
+            # reallocation grant) counts as resumable state too.
+            for idx, record in self._adaptive_cache.get(cell_key,
+                                                        {}).items():
+                if 0 <= idx < runs:
+                    records.setdefault(idx, record)
+        stats.resumed = len(records)
 
         if self.monitor is not None:
             self.monitor.begin_cell(workload, model.name, point.name,
                                     runs, resumed=stats.resumed)
 
-        pending = [i for i in range(runs) if i not in records]
-        if pending:
+        if adaptive is not None:
+            stats.adaptive = True
+            stream = AdaptiveCellStream(adaptive, runs, prior=records)
+        else:
+            stream = _FixedStream([i for i in range(runs)
+                                   if i not in records])
+        if stream.backlog > 0 and not stream.stopped:
             if self.config.workers > 0 and self._fork_available():
-                executed = self._run_pool(model, point, pending, runs, stats)
+                executed = self._run_pool(model, point, stream, runs,
+                                          stats)
             else:
-                executed = self._run_serial(model, point, pending, runs,
+                executed = self._run_serial(model, point, stream, runs,
                                             stats)
             records.update(executed)
 
         stats.executed = len(records) - stats.resumed
-        stats.failed = runs - len(records)
         stats.wall_time = time.monotonic() - start
+
+        if adaptive is not None:
+            counted = list(stream.consumed)
+            stats.failed = stream.abandoned
+            stats.stop = stream.decision
+            stats.runs_saved = max(0, runs - len(counted))
+            stats.runs_discarded = stream.discarded
+            self._adaptive_cache[cell_key] = dict(records)
+            if stream.decision is not None:
+                if self.journal is not None:
+                    self.journal.record_stop(workload, model.name,
+                                             point.name, stream.decision)
+                on_stop = getattr(self.monitor, "on_stop", None)
+                if on_stop is not None:
+                    on_stop(stream.decision)
+        else:
+            counted = sorted(records)
+            stats.failed = runs - len(records)
 
         counts = OutcomeCounts()
         uarch_masked = 0
         no_injection = 0
-        for idx in sorted(records):
+        for idx in counted:
             record = records[idx]
             counts.record(Outcome(record.outcome))
             uarch_masked += record.uarch_masked
             if not record.injected:
                 no_injection += 1
+            weight = float(getattr(record, "weight", 1.0))
+            stats.weight_sum += weight
+            if record.outcome != Outcome.MASKED.value:
+                stats.weighted_non_masked += weight
         if telemetry.enabled():
             telemetry.count("campaign.cells")
             telemetry.count("campaign.runs.executed", stats.executed)
@@ -395,6 +478,10 @@ class CampaignExecutor:
             telemetry.count("campaign.harness_errors", stats.harness_errors)
             telemetry.count("campaign.worker_restarts",
                             stats.worker_restarts)
+            if stats.adaptive:
+                telemetry.count("campaign.runs.saved", stats.runs_saved)
+                telemetry.count("campaign.runs.discarded",
+                                stats.runs_discarded)
             for outcome, n in counts.counts.items():
                 if n:
                     telemetry.count(f"campaign.outcome.{outcome.value}", n)
@@ -495,11 +582,30 @@ class CampaignExecutor:
             uarch_masked=execution.uarch_masked,
             watchdog=execution.watchdog, unexpected=execution.unexpected,
             wall_ms=wall_ms, retries=retries,
+            weight=float(getattr(execution, "weight", 1.0)),
         )
+
+    def _release_records(self, released, model: ErrorModel,
+                         point: OperatingPoint, stats: CellStats,
+                         out: Dict[int, RunRecord]) -> None:
+        """Commit records a stream released, in the stream's order.
+
+        ``meta`` distinguishes a run carrying a flight payload from one
+        whose worker died holding the victim chain (truncated flight).
+        """
+        for record, meta in released:
+            out[record.run_index] = record
+            flight_payload = None
+            if isinstance(meta, tuple):
+                if meta[0] == "flight":
+                    flight_payload = meta[1]
+                elif meta[0] == "truncated":
+                    self._flight_truncated(model, point, record)
+            self._commit_run(record, stats, flight_payload)
 
     # -- serial mode -------------------------------------------------------------
     def _run_serial(self, model: ErrorModel, point: OperatingPoint,
-                    pending: List[int], runs: int,
+                    stream, runs: int,
                     stats: CellStats) -> Dict[int, RunRecord]:
         cfg = self.config
         golden = self.runner.golden()
@@ -507,7 +613,10 @@ class CampaignExecutor:
         fail_budget = self._fail_budget(runs)
         out: Dict[int, RunRecord] = {}
         failed = 0
-        for run_index in pending:
+        while True:
+            run_index = stream.reserve()
+            if run_index is None:
+                break
             record = None
             for attempt in range(cfg.max_retries + 1):
                 start = time.monotonic()
@@ -537,12 +646,16 @@ class CampaignExecutor:
                 break
             if record is None:
                 failed += 1
+                self._release_records(stream.abandon(run_index), model,
+                                      point, stats, out)
                 if failed > fail_budget:
                     stats.degraded = True
                     break
                 continue
-            out[run_index] = record
-            self._commit_run(record, stats, execution.flight)
+            self._release_records(
+                stream.deliver(run_index, record,
+                               ("flight", execution.flight)),
+                model, point, stats, out)
         return out
 
     # -- pool mode ---------------------------------------------------------------
@@ -560,14 +673,14 @@ class CampaignExecutor:
         return _WorkerHandle(process, parent_conn)
 
     def _run_pool(self, model: ErrorModel, point: OperatingPoint,
-                  pending: List[int], runs: int,
+                  stream, runs: int,
                   stats: CellStats) -> Dict[int, RunRecord]:
         cfg = self.config
         ctx = multiprocessing.get_context("fork")
-        pool_size = max(1, min(cfg.workers, len(pending)))
+        pool_size = max(1, min(cfg.workers, stream.backlog))
         stats.workers = pool_size
 
-        queue = deque(pending)
+        queue: deque = deque()          # promoted retries awaiting a worker
         retry_heap: List = []           # (eligible_at, run_index)
         attempts: Dict[int, int] = {}   # harness attempts per run index
         out: Dict[int, RunRecord] = {}
@@ -581,13 +694,25 @@ class CampaignExecutor:
                 # Promote retries whose backoff has elapsed.
                 while retry_heap and retry_heap[0][0] <= now:
                     queue.append(heapq.heappop(retry_heap)[1])
-                # Hand work to idle workers.
+                if stream.stopped:
+                    # Stop decision made: any queued or retrying index is
+                    # at or past the stop point (every earlier index was
+                    # consumed to reach the decision) — drop them and
+                    # just drain the workers still busy.
+                    queue.clear()
+                    retry_heap.clear()
+                # Hand work to idle workers: retries first (they block
+                # the commit frontier), then fresh indices from the
+                # stream.
                 for index, worker in enumerate(workers):
-                    if not queue:
-                        break
                     if worker.busy:
                         continue
-                    run_index = queue.popleft()
+                    if queue:
+                        run_index = queue.popleft()
+                    else:
+                        run_index = stream.reserve()
+                        if run_index is None:
+                            break
                     try:
                         worker.assign(run_index,
                                       attempts.get(run_index, 0))
@@ -599,11 +724,11 @@ class CampaignExecutor:
                         queue.appendleft(run_index)
                 busy = [w for w in workers if w.busy]
                 if not busy:
-                    if retry_heap:
+                    if retry_heap and not stream.stopped:
                         time.sleep(max(0.0, retry_heap[0][0]
                                        - time.monotonic()))
                         continue
-                    break  # all work drained
+                    break  # all work drained (or stop decision made)
                 timeout = _LIVENESS_INTERVAL_S
                 if cfg.wall_clock_timeout:
                     deadline = min(
@@ -625,7 +750,7 @@ class CampaignExecutor:
                             or not worker.process.is_alive()):
                         replace = self._drain_worker(
                             worker, model, point, stats, out,
-                            attempts, retry_heap,
+                            attempts, retry_heap, stream,
                         )
                         if replace or (worker.runs_done
                                        >= cfg.recycle_after):
@@ -653,9 +778,10 @@ class CampaignExecutor:
                             wall_ms=(now - worker.started) * 1000.0,
                             retries=attempts.get(run_index, 0),
                         )
-                        out[run_index] = record
-                        self._flight_truncated(model, point, record)
-                        self._commit_run(record, stats)
+                        self._release_records(
+                            stream.deliver(run_index, record,
+                                           ("truncated", True)),
+                            model, point, stats, out)
                         workers[index] = self._spawn(ctx, model, point)
                 # Count permanently failed runs (exhausted retries).
                 failed = sum(
@@ -673,7 +799,7 @@ class CampaignExecutor:
     def _drain_worker(self, worker: _WorkerHandle, model: ErrorModel,
                       point: OperatingPoint, stats: CellStats,
                       out: Dict[int, RunRecord], attempts: Dict[int, int],
-                      retry_heap: List) -> bool:
+                      retry_heap: List, stream) -> bool:
         """Consume everything a readable worker sent.
 
         Returns True when the worker must be replaced (it died or hit a
@@ -710,15 +836,19 @@ class CampaignExecutor:
                                     f"(exit {exitcode})"),
                         retries=attempts.get(run_index, 0),
                     )
-                    out[run_index] = record
-                    self._flight_truncated(model, point, record)
-                    self._commit_run(record, stats)
+                    self._release_records(
+                        stream.deliver(run_index, record,
+                                       ("truncated", True)),
+                        model, point, stats, out)
                 else:
-                    self._record_harness_failure(
+                    permanent = self._record_harness_failure(
                         model, point, run_index, stats, attempts,
                         retry_heap,
                         error=f"worker died before guest (exit {exitcode})",
                     )
+                    if permanent:
+                        self._release_records(stream.abandon(run_index),
+                                              model, point, stats, out)
                 worker.kill()
                 return True
             kind = message.get("type")
@@ -727,10 +857,13 @@ class CampaignExecutor:
                 continue
             if kind == "harness_error":
                 run_index = message["run_index"]
-                self._record_harness_failure(
+                permanent = self._record_harness_failure(
                     model, point, run_index, stats, attempts, retry_heap,
                     error=message["error"],
                 )
+                if permanent:
+                    self._release_records(stream.abandon(run_index),
+                                          model, point, stats, out)
                 worker.finish_task()
                 return True  # recycle the worker after a harness error
             if kind == "result":
@@ -741,6 +874,7 @@ class CampaignExecutor:
                     uarch_masked=message["uarch_masked"],
                     watchdog=message["watchdog"],
                     unexpected=message["unexpected"],
+                    weight=float(message.get("weight", 1.0)),
                 )
                 if execution.watchdog:
                     stats.watchdog_kills += 1
@@ -750,15 +884,22 @@ class CampaignExecutor:
                     wall_ms=message["wall_ms"],
                     retries=attempts.get(run_index, 0),
                 )
-                out[run_index] = record
-                self._commit_run(record, stats, message.get("flight"))
+                self._release_records(
+                    stream.deliver(run_index, record,
+                                   ("flight", message.get("flight"))),
+                    model, point, stats, out)
                 worker.finish_task()
                 return False
 
     def _record_harness_failure(self, model: ErrorModel,
                                 point: OperatingPoint, run_index: int,
                                 stats: CellStats, attempts: Dict[int, int],
-                                retry_heap: List, error: str) -> None:
+                                retry_heap: List, error: str) -> bool:
+        """Journal and schedule a harness failure.
+
+        Returns True when the run's retries are exhausted — permanently
+        failed, so an adaptive stream must skip its index.
+        """
         cfg = self.config
         attempt = attempts.get(run_index, 0)
         stats.harness_errors += 1
@@ -770,3 +911,5 @@ class CampaignExecutor:
                 retry_heap,
                 (time.monotonic() + self._backoff(attempt), run_index),
             )
+            return False
+        return True

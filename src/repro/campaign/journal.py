@@ -15,7 +15,11 @@ The journal is a JSONL file written one line per event.  Line types:
 - ``run``           — one classified injection run (guest outcome),
 - ``harness_error`` — a harness-side failure (exception *outside* the
   guest boundary), kept distinct from guest outcomes and never counted,
-- ``cell``          — summary written when a campaign cell completes.
+- ``cell``          — summary written when a campaign cell completes,
+- ``stop``          — the stop-decision provenance of an adaptively
+  sampled cell (format version 3): rule, n-at-stop, the anytime-valid
+  interval and its target, so a resumed campaign can prove it
+  reproduced the identical decision.
 
 Durability (journal format version 2):
 
@@ -147,6 +151,9 @@ class RunRecord:
     unexpected: Optional[str] = None
     wall_ms: float = 0.0
     retries: int = 0
+    #: Horvitz–Thompson importance weight of the sampled victim relative
+    #: to uniform placement; 1.0 for every uniformly-sampling model.
+    weight: float = 1.0
 
     @property
     def key(self) -> str:
@@ -167,7 +174,7 @@ class RunJournal:
     durability policy (see the module docstring).
     """
 
-    VERSION = 2
+    VERSION = 3
 
     def __init__(self, path: Union[str, Path], seed: int,
                  resume: bool = False, fsync: str = "group",
@@ -189,6 +196,7 @@ class RunJournal:
         self._runs: Dict[Tuple[str, str, str], Dict[int, RunRecord]] = {}
         self._harness_errors: List[dict] = []
         self._cells: List[dict] = []
+        self._stops: Dict[Tuple[str, str, str], dict] = {}
         self._since_fsync = 0
         self._last_fsync = time.monotonic()
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -280,6 +288,22 @@ class RunJournal:
         self._write(payload)
         self._cells.append(payload)
 
+    def record_stop(self, workload: str, model: str, point: str,
+                    decision) -> None:
+        """Journal the stop-decision provenance of an adaptive cell.
+
+        ``decision`` is a ``StopDecision``-shaped object (anything with a
+        ``to_dict``).  A resumed campaign re-derives the decision from the
+        replayed run prefix and journals it again; ``canonical_journal``
+        keeps the last occurrence, so resume must reproduce the same
+        decision to stay canonical-equal to the uninterrupted run.
+        """
+        payload = {"type": "stop", "workload": workload, "model": model,
+                   "point": point}
+        payload.update(decision.to_dict())
+        self._write(payload)
+        self._stops[(workload, model, point)] = payload
+
     # -- reading ---------------------------------------------------------------
     def _load(self) -> None:
         payloads, strict = _parse_lines(self.path)
@@ -308,6 +332,7 @@ class RunJournal:
                         "workload", "model", "point", "run_index",
                         "outcome", "injected", "uarch_masked",
                         "watchdog", "unexpected", "wall_ms", "retries",
+                        "weight",
                     ) if k in payload
                 })
                 self._runs.setdefault(record.cell, {})[
@@ -317,6 +342,10 @@ class RunJournal:
                 self._harness_errors.append(payload)
             elif kind == "cell":
                 self._cells.append(payload)
+            elif kind == "stop":
+                key = (payload.get("workload"), payload.get("model"),
+                       payload.get("point"))
+                self._stops[key] = payload
 
     def completed_runs(self, workload: str, model: str,
                        point: str) -> Dict[int, RunRecord]:
@@ -330,6 +359,11 @@ class RunJournal:
     @property
     def cells(self) -> List[dict]:
         return list(self._cells)
+
+    def stop_decision(self, workload: str, model: str,
+                      point: str) -> Optional[dict]:
+        """The journaled stop payload of one adaptive cell, if any."""
+        return self._stops.get((workload, model, point))
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -363,6 +397,7 @@ def canonical_journal(path: Union[str, Path]) -> str:
     """
     runs: Dict[tuple, str] = {}
     cells: Dict[tuple, str] = {}
+    stops: Dict[tuple, str] = {}
     payloads, strict = _parse_lines(path)
     for payload in payloads:
         if payload is None or not _crc_ok(payload, strict=strict):
@@ -384,6 +419,13 @@ def canonical_journal(path: Union[str, Path]) -> str:
                    entry.get("point"))
             cells[key] = json.dumps(entry, sort_keys=True,
                                     separators=(",", ":"))
+        elif kind == "stop":
+            entry = {k: v for k, v in payload.items() if k != "crc"}
+            key = (entry.get("workload"), entry.get("model"),
+                   entry.get("point"))
+            stops[key] = json.dumps(entry, sort_keys=True,
+                                    separators=(",", ":"))
     lines = [runs[key] for key in sorted(runs)]
     lines += [cells[key] for key in sorted(cells)]
+    lines += [stops[key] for key in sorted(stops)]
     return "\n".join(lines) + ("\n" if lines else "")

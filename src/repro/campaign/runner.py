@@ -127,6 +127,7 @@ class RunExecution:
     sdc_magnitude: Optional[float] = None  # rel. output error (SDC only)
     flight: Optional[dict] = None  # flight-record payload, recorder on
     fastforward: Optional[dict] = None  # restore/replay counters, ff on
+    weight: float = 1.0  # HT importance weight of the sampled victim
 
 
 @dataclass
@@ -151,6 +152,25 @@ class CampaignResult:
     def degraded(self) -> bool:
         """Whether the executor abandoned part of this cell (see stats)."""
         return bool(self.stats is not None and self.stats.degraded)
+
+    @property
+    def stop(self):
+        """The adaptive stop decision, when the cell ran adaptively."""
+        return getattr(self.stats, "stop", None) if self.stats else None
+
+    @property
+    def avm_ht(self) -> float:
+        """Horvitz–Thompson AVM: unbiased under importance sampling."""
+        if self.stats is None or not self.counts.total:
+            return self.avm
+        return self.stats.weighted_non_masked / self.counts.total
+
+    @property
+    def avm_sn(self) -> float:
+        """Self-normalized weighted AVM (lower variance, small bias)."""
+        if self.stats is None or not self.stats.weight_sum:
+            return self.avm
+        return self.stats.weighted_non_masked / self.stats.weight_sum
 
 
 class CampaignRunner:
@@ -291,16 +311,19 @@ class CampaignRunner:
             ]
             capture["corruption_size"] = sum(
                 len(per_op) for per_op in corruption.values())
+        weight = float(getattr(plan, "weight", 1.0))
         if not corruption:
             # Nothing reached architectural state: trivially masked.
             return self._finish(
                 RunExecution(Outcome.MASKED,
-                             uarch_masked=placed.masked_count), capture)
+                             uarch_masked=placed.masked_count,
+                             weight=weight), capture)
         if guest_entry is not None:
             guest_entry()
         execution = self.run_guest(corruption, golden=golden,
                                    wall_clock_timeout=wall_clock_timeout)
         execution.uarch_masked = placed.masked_count
+        execution.weight = weight
         return self._finish(execution, capture)
 
     @staticmethod
@@ -382,16 +405,20 @@ class CampaignRunner:
 
     def campaign(self, model: ErrorModel, point: OperatingPoint,
                  runs: Optional[int] = None,
-                 executor: Optional["CampaignExecutor"] = None
-                 ) -> CampaignResult:
+                 executor: Optional["CampaignExecutor"] = None,
+                 adaptive=None) -> CampaignResult:
         """Run a full campaign cell (default: the paper's 1068 runs).
 
         Goes through the fault-tolerant executor; without an explicit
         ``executor`` a serial in-process one (no journal, no watchdog) is
         used, which reproduces the historical behaviour bit-for-bit.
+        ``adaptive`` (an :class:`~repro.campaign.adaptive.AdaptiveConfig`)
+        turns ``runs`` into a ceiling and stops the cell when its
+        anytime-valid interval reaches the target half-width.
         """
         from repro.campaign.executor import CampaignExecutor
 
         if executor is None:
             executor = CampaignExecutor(self)
-        return executor.run_cell(model, point, runs=runs)
+        return executor.run_cell(model, point, runs=runs,
+                                 adaptive=adaptive)

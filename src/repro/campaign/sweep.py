@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.campaign.adaptive import AdaptiveConfig
 from repro.campaign.avm import EnergyAnalysis
 from repro.campaign.executor import CampaignExecutor, ExecutorConfig
 from repro.campaign.journal import RunJournal
@@ -80,9 +81,11 @@ class SweepRunner:
 
     def __init__(self, runner: CampaignRunner, runs: int = 240,
                  config: Optional[ExecutorConfig] = None,
-                 journal: Optional[RunJournal] = None):
+                 journal: Optional[RunJournal] = None,
+                 adaptive: Optional[AdaptiveConfig] = None):
         self.runner = runner
         self.runs = runs
+        self.adaptive = adaptive
         self.executor = CampaignExecutor(runner, config=config,
                                          journal=journal)
         self._model_cache: Dict[str, WaModel] = {}
@@ -97,7 +100,8 @@ class SweepRunner:
     def _campaign(self, model: WaModel,
                   point: OperatingPoint) -> CampaignResult:
         return self.runner.campaign(model, point, runs=self.runs,
-                                    executor=self.executor)
+                                    executor=self.executor,
+                                    adaptive=self.adaptive)
 
     def sweep(self, reductions: Sequence[float]) -> VoltageSweep:
         """Characterise + campaign across fractional voltage reductions.

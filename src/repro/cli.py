@@ -243,6 +243,17 @@ def _cmd_campaign(args) -> int:
             model = store.load_any(args.model_file)
         else:
             model = characterize_wa(profile, points)
+        adaptive_config = None
+        if args.adaptive or args.importance:
+            from repro.campaign.adaptive import AdaptiveConfig
+
+            adaptive_config = AdaptiveConfig(ci_target=args.ci_target,
+                                             min_runs=args.min_runs,
+                                             importance=args.importance)
+        if args.importance:
+            from repro.campaign.adaptive import ImportanceModel
+
+            model = ImportanceModel(model)
         if sink is not None and model.provenance is not None:
             # Framed record so `repro report` can show where the injected
             # model came from (benchmark, seed, samples, trace digest).
@@ -259,7 +270,8 @@ def _cmd_campaign(args) -> int:
         with CampaignExecutor(runner, config=config,
                               monitor=monitor) as executor:
             journal = executor.journal
-            results = [executor.run_cell(model, point, runs=args.runs)
+            results = [executor.run_cell(model, point, runs=args.runs,
+                                         adaptive=adaptive_config)
                        for point in points]
     finally:
         if args.flight:
@@ -276,6 +288,24 @@ def _cmd_campaign(args) -> int:
     print(outcome_table(results))
     print()
     print(executor_stats_table(results))
+    if adaptive_config is not None:
+        budget = args.runs * len(results)
+        executed = sum(r.counts.total for r in results)
+        print()
+        print(f"adaptive: {executed}/{budget} runs "
+              f"({max(0, budget - executed)} saved, target "
+              f"±{adaptive_config.ci_target:g} at "
+              f"{adaptive_config.confidence:.0%})")
+        for result in results:
+            stop = result.stop
+            if stop is None:
+                continue
+            print(f"  {result.workload}/{result.model}/{result.point}: "
+                  f"{stop.rule} at n={stop.n} "
+                  f"AVM in [{stop.ci_lo:.3f}, {stop.ci_hi:.3f}]")
+            if args.importance:
+                print(f"    weighted AVM: HT {result.avm_ht:.3f}, "
+                      f"self-normalized {result.avm_sn:.3f}")
     if journal is not None:
         js = journal.stats
         print()
@@ -587,6 +617,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("benchmark", choices=sorted(WORKLOADS))
     p.add_argument("--model-file", help="saved artifact (default: fresh WA)")
     p.add_argument("--runs", type=int, default=1068)
+    p.add_argument("--adaptive", action="store_true",
+                   help="stop each cell when the anytime-valid CI "
+                        "reaches --ci-target (--runs is the ceiling)")
+    p.add_argument("--ci-target", type=float, default=0.03,
+                   help="adaptive stop half-width (the paper's ±margin)")
+    p.add_argument("--min-runs", type=int, default=100,
+                   help="adaptive floor: never stop below this many runs")
+    p.add_argument("--importance", action="store_true",
+                   help="importance-sample WA victim placement "
+                        "(Horvitz–Thompson reweighted AVM; implies "
+                        "--adaptive)")
     p.add_argument("--scale", default="small",
                    choices=["tiny", "small", "paper"])
     p.add_argument("--vr", type=int, nargs="+", default=[15, 20])

@@ -114,11 +114,19 @@ class Victim:
 
 @dataclass
 class InjectionPlan:
-    """The injection event(s) of a single run."""
+    """The injection event(s) of a single run.
+
+    ``weight`` is the Horvitz–Thompson importance weight of the sampled
+    event relative to uniform victim selection (``p_uniform / q``);
+    1.0 for every uniformly-sampling model, so downstream weighted AVM
+    estimators collapse to the plain AVM unless an importance-sampling
+    model set a real weight.
+    """
 
     model: str
     point: str
     victims: List[Victim] = field(default_factory=list)
+    weight: float = 1.0
 
     @property
     def injects(self) -> bool:

@@ -34,12 +34,23 @@ __all__ = [
     "run_experiment",
     "comma_separated_ints",
     "comma_separated_names",
+    "flag_bool",
 ]
 
 
 def comma_separated_ints(text: str) -> Tuple[int, ...]:
     """CLI parser for list options: ``"100,1000"`` -> ``(100, 1000)``."""
     return tuple(int(part) for part in text.split(",") if part)
+
+
+def flag_bool(text: str) -> bool:
+    """CLI parser for boolean options: ``--adaptive true`` / ``0`` / ``no``."""
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean, got {text!r}")
 
 
 def comma_separated_names(text: str) -> Tuple[str, ...]:

@@ -16,11 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.campaign.adaptive import AdaptiveConfig
 from repro.campaign.avm import EnergyAnalysis, avm_divergence
 from repro.campaign.runner import CampaignResult
 from repro.circuit.liberty import NOMINAL, OperatingPoint, TECHNOLOGY
 from repro.errors import characterize_wa
-from repro.experiments import Option, comma_separated_names
+from repro.experiments import Option, comma_separated_names, flag_bool
 from repro.experiments.context import (
     BENCHMARKS,
     ExperimentContext,
@@ -43,6 +44,13 @@ OPTIONS = (
     Option("timing_backend", str, None,
            "gate-level DTA engine: event or bitparallel "
            "(unset = event; part of every model cache key)"),
+    Option("adaptive", flag_bool, False,
+           "stop each cell at the CI target instead of fixed-N"),
+    Option("ci_target", float, 0.03,
+           "adaptive stop half-width (the paper's ±margin)"),
+    Option("min_runs", int, 100, "adaptive floor: never stop below this"),
+    Option("importance", flag_bool, False,
+           "importance-sample WA victims (HT-reweighted AVM)"),
 )
 
 
@@ -69,13 +77,21 @@ def run(context: Optional[ExperimentContext] = None,
         seed: int = 2021, samples: int = 50_000,
         benchmarks=None, workers: Optional[int] = None,
         cache_dir: Optional[str] = None,
-        timing_backend: Optional[str] = None) -> AvmResult:
+        timing_backend: Optional[str] = None,
+        adaptive: bool = False, ci_target: float = 0.03,
+        min_runs: int = 100, importance: bool = False) -> AvmResult:
     context = ensure_context(context, scale=scale, seed=seed,
                              samples=samples, benchmarks=benchmarks,
                              workers=workers, cache_dir=cache_dir,
                              timing_backend=timing_backend)
     if campaign_results is None:
-        campaign_results = context.run_campaigns(runs)
+        config = None
+        if adaptive or importance:
+            config = AdaptiveConfig(ci_target=ci_target,
+                                    min_runs=min_runs,
+                                    importance=importance)
+        campaign_results = context.run_campaigns(runs, adaptive=config,
+                                                 importance=importance)
 
     table = {
         (r.workload, r.model, r.point): r.avm for r in campaign_results

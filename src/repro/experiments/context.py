@@ -12,6 +12,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.campaign.adaptive import (
+    AdaptiveConfig,
+    AdaptiveReport,
+    ImportanceModel,
+    run_adaptive_cells,
+)
 from repro.campaign.executor import CampaignExecutor, ExecutorConfig
 from repro.campaign.fastforward import FastForwardConfig
 from repro.campaign.journal import RunJournal
@@ -107,6 +113,9 @@ class ExperimentContext:
     #: The characterization pipeline the models were built with (``None``
     #: when the legacy serial path was used).
     pipeline: Optional[CharacterizationPipeline] = None
+    #: Stop-decision/budget report of the most recent adaptive
+    #: ``run_campaigns`` call (``None`` until one runs adaptively).
+    adaptive_report: Optional[AdaptiveReport] = None
 
     @classmethod
     def create(cls, scale: str = "small", seed: int = 2021,
@@ -172,13 +181,28 @@ class ExperimentContext:
                       benchmarks: Optional[Sequence[str]] = None,
                       config: Optional[ExecutorConfig] = None,
                       journal: Optional[RunJournal] = None,
+                      adaptive: Optional[AdaptiveConfig] = None,
+                      importance: bool = False,
                       ) -> List[CampaignResult]:
         """All (benchmark x model x point) campaign cells (Figs. 9/10).
 
         ``config`` selects the fault-tolerance posture (worker count,
         watchdog, retries); one ``journal`` is shared across every cell
         so a killed multi-benchmark campaign resumes as a whole.
+
+        ``adaptive`` switches every cell to sequential CI-target
+        sampling with ``runs`` as the per-cell budget ceiling; saved
+        runs are reallocated across cells and the stop-decision report
+        lands in :attr:`adaptive_report`.  ``importance`` additionally
+        wraps each WA model in an
+        :class:`~repro.campaign.adaptive.ImportanceModel` (victims drawn
+        from the timing model's per-event error mass, AVM reweighted by
+        Horvitz–Thompson so it stays unbiased).
         """
+        if importance and adaptive is None:
+            raise ValueError(
+                "importance sampling requires an AdaptiveConfig "
+                "(pass adaptive=AdaptiveConfig(importance=True))")
         owns_journal = False
         if journal is None and config is not None and config.journal_path:
             journal = RunJournal.open(config.journal_path, seed=self.seed,
@@ -186,14 +210,25 @@ class ExperimentContext:
             owns_journal = True
         results: List[CampaignResult] = []
         try:
+            cells = []
             for name in (benchmarks or self.benchmarks):
                 executor = CampaignExecutor(self.runners[name],
                                             config=config, journal=journal)
                 for model in self.models_for(name):
+                    if importance and getattr(model, "workload_aware",
+                                              False):
+                        model = ImportanceModel(model)
                     for point in self.points:
-                        results.append(
-                            executor.run_cell(model, point, runs=runs)
-                        )
+                        if adaptive is not None:
+                            cells.append((executor, model, point))
+                        else:
+                            results.append(
+                                executor.run_cell(model, point, runs=runs)
+                            )
+            if adaptive is not None:
+                results, report = run_adaptive_cells(cells, adaptive,
+                                                     runs=runs)
+                self.adaptive_report = report
         finally:
             if owns_journal:
                 journal.close()

@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.campaign.adaptive import AdaptiveConfig, AdaptiveReport
 from repro.campaign.report import outcome_table
 from repro.campaign.runner import CampaignResult
-from repro.experiments import Option, comma_separated_names
+from repro.experiments import Option, comma_separated_names, flag_bool
 from repro.experiments.context import (
     BENCHMARKS,
     ExperimentContext,
@@ -32,6 +33,13 @@ OPTIONS = (
     Option("samples", int, 50_000, "characterisation samples per type"),
     Option("benchmarks", comma_separated_names, BENCHMARKS,
            "comma-separated benchmark subset"),
+    Option("adaptive", flag_bool, False,
+           "stop each cell at the CI target instead of fixed-N"),
+    Option("ci_target", float, 0.03,
+           "adaptive stop half-width (the paper's ±margin)"),
+    Option("min_runs", int, 100, "adaptive floor: never stop below this"),
+    Option("importance", flag_bool, False,
+           "importance-sample WA victims (HT-reweighted AVM)"),
 )
 
 
@@ -39,6 +47,7 @@ OPTIONS = (
 class Fig9Result:
     results: List[CampaignResult]
     runs_per_cell: int
+    adaptive_report: Optional[AdaptiveReport] = None
 
     def cell(self, workload: str, model: str, point: str) -> CampaignResult:
         for result in self.results:
@@ -51,18 +60,30 @@ class Fig9Result:
 def run(context: Optional[ExperimentContext] = None,
         runs: Optional[int] = None,
         scale: str = "small", seed: int = 2021,
-        samples: int = 50_000, benchmarks=None) -> Fig9Result:
+        samples: int = 50_000, benchmarks=None,
+        adaptive: bool = False, ci_target: float = 0.03,
+        min_runs: int = 100, importance: bool = False) -> Fig9Result:
     context = ensure_context(context, scale=scale, seed=seed,
                              samples=samples, benchmarks=benchmarks)
     runs = runs if runs is not None else confidence_sample_size()
-    return Fig9Result(results=context.run_campaigns(runs),
-                      runs_per_cell=runs)
+    config = None
+    if adaptive or importance:
+        config = AdaptiveConfig(ci_target=ci_target, min_runs=min_runs,
+                                importance=importance)
+    results = context.run_campaigns(runs, adaptive=config,
+                                    importance=importance)
+    return Fig9Result(results=results, runs_per_cell=runs,
+                      adaptive_report=(context.adaptive_report
+                                       if config is not None else None))
 
 
 def render(result: Fig9Result) -> str:
     header = (f"Fig. 9 — outcome distributions "
               f"({result.runs_per_cell} runs per cell)")
-    return header + "\n" + outcome_table(result.results)
+    body = header + "\n" + outcome_table(result.results)
+    if result.adaptive_report is not None:
+        body += "\n\n" + result.adaptive_report.render()
+    return body
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -494,15 +494,22 @@ def _section_trajectory(points: Sequence[TrajectoryPoint]) -> str:
     rows = []
     for cell in sorted(grouped):
         last = grouped[cell][-1]
+        stops = [p for p in grouped[cell] if p.stop_rule is not None]
+        if stops:
+            stop = stops[-1]
+            stop_label = f"{stop.stop_rule} at n={stop.runs_done}"
+        else:
+            stop_label = "—"
         rows.append([cell, len(grouped[cell]), last.runs_done,
                      f"{last.avm:.3f}",
                      f"[{last.ci_lo:.3f}, {last.ci_hi:.3f}]",
-                     f"{last.half_width:.3f}", f"{last.wall_s:.2f}"])
+                     f"{last.half_width:.3f}", stop_label,
+                     f"{last.wall_s:.2f}"])
     return (
         "<section><h2>CI convergence (Wilson 95%)</h2>"
         '<div class="panels">' + "".join(panels) + "</div>"
         + _data_table(["cell", "points", "runs", "AVM", "95% CI",
-                       "±half-width", "wall s"], rows,
+                       "±half-width", "stop", "wall s"], rows,
                       summary="Trajectory endpoints per cell")
         + "</section>"
     )

@@ -53,7 +53,8 @@ __all__ = [
 ]
 
 #: Bumped when the /status document shape changes.
-STATUS_VERSION = 1
+#: v2: adaptive-sampling block (stop decisions, runs saved) added.
+STATUS_VERSION = 2
 
 
 class CampaignMetrics:
@@ -104,6 +105,12 @@ class CampaignMetrics:
         self._run_ms = registry.summary(
             "repro_campaign_run_wall_ms",
             "Wall-clock milliseconds per classified run")
+        self._stops = registry.counter(
+            "repro_campaign_stops_total",
+            "Adaptive stop decisions by rule", labels=("rule",))
+        self._saved = registry.counter(
+            "repro_campaign_runs_saved_total",
+            "Budgeted runs adaptive sampling did not need to execute")
         self._cell: Optional[str] = None
         self._tallies: Dict[str, int] = {}
         self._done = 0
@@ -137,6 +144,12 @@ class CampaignMetrics:
             self._retries.set_total(stats.retries, cell=cell)
             self._watchdog.set_total(stats.watchdog_kills, cell=cell)
             self._restarts.set_total(stats.worker_restarts, cell=cell)
+
+    def on_stop(self, decision: Any) -> None:
+        self._stops.inc(rule=str(decision.rule))
+        saved = int(getattr(decision, "runs_saved", 0))
+        if saved:
+            self._saved.inc(saved)
 
     def end_cell(self, result: Any) -> None:
         self._cells.inc()
@@ -172,6 +185,9 @@ class StatusBoard:
         self._workers: Dict[str, int] = {}
         self._runs_done = 0
         self._finished = False
+        self._adaptive: Dict[str, Any] = {
+            "cells_stopped": 0, "stops_by_rule": {}, "runs_saved": 0,
+        }
         self.port: Optional[int] = None
 
     def begin_campaign(self, benchmark: str, seed: int,
@@ -220,6 +236,17 @@ class StatusBoard:
                     "worker_restarts": stats.worker_restarts,
                 }
 
+    def on_stop(self, decision: Any) -> None:
+        with self._lock:
+            rule = str(decision.rule)
+            self._adaptive["cells_stopped"] += 1
+            by_rule = self._adaptive["stops_by_rule"]
+            by_rule[rule] = by_rule.get(rule, 0) + 1
+            self._adaptive["runs_saved"] += int(
+                getattr(decision, "runs_saved", 0))
+            if self._current is not None:
+                self._current["stop"] = decision.to_dict()
+
     def end_cell(self, result: Any) -> None:
         with self._lock:
             summary: Dict[str, Any] = {}
@@ -237,6 +264,10 @@ class StatusBoard:
                                              False)
                                      if result.stats else False),
                 }
+                stop = (getattr(result.stats, "stop", None)
+                        if result.stats else None)
+                if stop is not None:
+                    summary["stop"] = stop.to_dict()
             elif self._current is not None:
                 summary = dict(self._current)
             self._cells.append(summary)
@@ -268,6 +299,12 @@ class StatusBoard:
                 "current_cell": (dict(self._current)
                                  if self._current is not None else None),
                 "workers": dict(self._workers),
+                "adaptive": {
+                    "cells_stopped": self._adaptive["cells_stopped"],
+                    "stops_by_rule": dict(
+                        self._adaptive["stops_by_rule"]),
+                    "runs_saved": self._adaptive["runs_saved"],
+                },
                 "cells": [dict(cell) for cell in self._cells],
             }
 

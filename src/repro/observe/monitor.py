@@ -88,6 +88,20 @@ class CampaignMonitor:
             self._stats = stats
         self._draw()
 
+    def on_stop(self, decision: Any) -> None:
+        """An adaptive cell's stop decision (StopDecision-shaped)."""
+        line = (f"  stop: {decision.rule} at n={decision.n} "
+                f"(budget {decision.budget})  AVM in "
+                f"[{decision.ci_lo:.3f}, {decision.ci_hi:.3f}] "
+                f"target ±{decision.target:.3f}")
+        if self.use_ansi and self._drawn_lines:
+            self.stream.write(f"\x1b[{self._drawn_lines}F")
+            self.stream.write("\x1b[0J")
+            self._drawn_lines = 0
+        self.stream.write(line + "\n")
+        self.stream.flush()
+        self._draw(force=True)
+
     def end_cell(self, result: Any) -> None:
         if getattr(result, "stats", None) is not None:
             self._stats = result.stats
@@ -207,6 +221,14 @@ class MonitorMux:
     def end_cell(self, result: Any) -> None:
         for obs in self.observers:
             obs.end_cell(result)
+
+    def on_stop(self, decision: Any) -> None:
+        # Optional hook: observers that predate adaptive sampling (or
+        # third-party ones) simply don't implement it.
+        for obs in self.observers:
+            hook = getattr(obs, "on_stop", None)
+            if hook is not None:
+                hook(decision)
 
     def close(self) -> None:
         for obs in self.observers:

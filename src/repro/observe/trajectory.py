@@ -53,25 +53,43 @@ class TrajectoryPoint:
     ci_lo: float
     ci_hi: float
     wall_s: float
+    #: Stop-decision provenance, set only on the point emitted at an
+    #: adaptive cell's stop (``stop_rule`` is ``"ci-target"`` or
+    #: ``"budget"``, ``stop_target`` the configured half-width).  Both
+    #: stay out of ``to_dict`` when unset, so non-adaptive streams are
+    #: byte-identical to what earlier recorders wrote.
+    stop_rule: Optional[str] = None
+    stop_target: Optional[float] = None
 
     @property
     def half_width(self) -> float:
         return (self.ci_hi - self.ci_lo) / 2.0
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"type": POINT_TYPE, "cell": self.cell,
-                "runs_done": self.runs_done, "avm": self.avm,
-                "ci_lo": self.ci_lo, "ci_hi": self.ci_hi,
-                "wall_s": self.wall_s}
+        payload = {"type": POINT_TYPE, "cell": self.cell,
+                   "runs_done": self.runs_done, "avm": self.avm,
+                   "ci_lo": self.ci_lo, "ci_hi": self.ci_hi,
+                   "wall_s": self.wall_s}
+        if self.stop_rule is not None:
+            payload["stop_rule"] = self.stop_rule
+        if self.stop_target is not None:
+            payload["stop_target"] = self.stop_target
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TrajectoryPoint":
+        target = data.get("stop_target")
         return cls(cell=str(data.get("cell", "?")),
                    runs_done=int(data.get("runs_done", 0)),
                    avm=float(data.get("avm", 0.0)),
                    ci_lo=float(data.get("ci_lo", 0.0)),
                    ci_hi=float(data.get("ci_hi", 0.0)),
-                   wall_s=float(data.get("wall_s", 0.0)))
+                   wall_s=float(data.get("wall_s", 0.0)),
+                   stop_rule=(str(data["stop_rule"])
+                              if data.get("stop_rule") is not None
+                              else None),
+                   stop_target=(float(target)
+                                if target is not None else None))
 
 
 class TrajectoryRecorder:
@@ -124,6 +142,23 @@ class TrajectoryRecorder:
         if (executed % self.stride == 0
                 or self._done >= self._runs_requested):
             self._emit_point()
+
+    def on_stop(self, decision: Any) -> None:
+        """Record the stop decision as its own trajectory point.
+
+        Fires even when the stop lands between strides — the decision
+        point is the most important sample of an adaptive trajectory
+        and must never be subsampled away.  The interval recorded is
+        the decision's own (anytime-valid, look-corrected) interval,
+        not the plain running Wilson CI of ordinary points.
+        """
+        self._append(TrajectoryPoint(
+            cell=self._cell or "?", runs_done=int(decision.n),
+            avm=float(decision.avm), ci_lo=float(decision.ci_lo),
+            ci_hi=float(decision.ci_hi),
+            wall_s=self._now() - self._cell_started,
+            stop_rule=str(decision.rule),
+            stop_target=float(decision.target)))
 
     def end_cell(self, result: Any) -> None:
         # Final point from the authoritative cell counts when available

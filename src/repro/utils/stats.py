@@ -119,6 +119,12 @@ def wilson_interval(successes: int, trials: int, confidence: float = 0.95):
 
     Used in reports to attach uncertainty to outcome-category frequencies
     estimated from finite injection campaigns.
+
+    The degenerate endpoints are pinned exactly: at ``successes == 0``
+    the lower bound is 0.0 and at ``successes == trials`` the upper
+    bound is 1.0 (both hold in exact arithmetic, but the float
+    evaluation lands a few ulps inside, which breaks inclusive
+    ``lo <= p <= hi`` membership tests at the boundary).
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -129,4 +135,6 @@ def wilson_interval(successes: int, trials: int, confidence: float = 0.95):
     denom = 1.0 + z * z / trials
     centre = (phat + z * z / (2.0 * trials)) / denom
     half = (z / denom) * math.sqrt(phat * (1.0 - phat) / trials + z * z / (4.0 * trials * trials))
-    return max(0.0, centre - half), min(1.0, centre + half)
+    lo = 0.0 if successes == 0 else max(0.0, centre - half)
+    hi = 1.0 if successes == trials else min(1.0, centre + half)
+    return lo, hi

@@ -111,7 +111,7 @@ class TestCampaignMetrics:
 
 STATUS_KEYS = {"service", "version", "campaign", "port", "uptime_s",
                "finished", "runs_done", "cells_done", "outcomes", "avm",
-               "current_cell", "workers", "cells"}
+               "current_cell", "workers", "adaptive", "cells"}
 
 
 class TestStatusBoard:

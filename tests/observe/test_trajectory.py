@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.campaign.executor import CellStats
 from repro.campaign.journal import RunRecord
 from repro.campaign.outcomes import Outcome, OutcomeCounts
@@ -137,6 +139,100 @@ class TestStreamRoundTrip:
         points.append(TrajectoryPoint("b", 1, 0.0, 0.0, 0.0, 0.0))
         grouped = points_by_cell(points)
         assert [p.runs_done for p in grouped["a"]] == [1, 2]
+
+
+class _Decision:
+    """StopDecision-shaped stub for the recorder's on_stop hook."""
+
+    def __init__(self, n=3, avm=1 / 3, rule="ci-target", target=0.1):
+        from repro.observe.stats import avm_estimate
+
+        est = avm_estimate(int(round(avm * n)), n)
+        self.n = n
+        self.avm = avm
+        self.ci_lo = est.ci_lo
+        self.ci_hi = est.ci_hi
+        self.rule = rule
+        self.target = target
+
+
+class TestStopProvenance:
+    def test_on_stop_records_point_even_between_strides(self):
+        """The stop decision must land in the trajectory even when it
+        falls between stride samples — it is the one point the
+        differential harness reads back."""
+        recorder = TrajectoryRecorder(stride=4)
+        _drive(recorder, ["Masked", "SDC", "Masked"], runs=16)
+        assert recorder.points == []  # stride 4 swallowed all three
+        recorder.on_stop(_Decision(n=3, avm=1 / 3))
+        assert len(recorder.points) == 1
+        point = recorder.points[0]
+        assert point.runs_done == 3
+        assert point.stop_rule == "ci-target"
+        assert point.stop_target == 0.1
+        assert point.avm == pytest.approx(1 / 3)
+
+    def test_plain_points_omit_stop_fields(self):
+        """Pre-adaptive streams stay byte-identical: a point without
+        stop provenance serialises without the keys at all."""
+        recorder = TrajectoryRecorder()
+        _drive(recorder, ["Masked"])
+        d = recorder.points[0].to_dict()
+        assert "stop_rule" not in d
+        assert "stop_target" not in d
+
+    def test_stop_point_roundtrips_through_jsonl(self, tmp_path):
+        path = tmp_path / "traj.jsonl"
+        recorder = TrajectoryRecorder(path=path)
+        _drive(recorder, ["Masked", "SDC", "Masked"])
+        recorder.on_stop(_Decision(n=3, avm=1 / 3, rule="budget",
+                                   target=0.03))
+        recorder.close()
+        loaded = load_trajectory(path)
+        assert loaded == recorder.points
+        stops = [p for p in loaded if p.stop_rule is not None]
+        assert len(stops) == 1
+        assert stops[0].stop_rule == "budget"
+        assert stops[0].stop_target == 0.03
+
+    def test_torn_tail_after_stop_point_tolerated(self, tmp_path):
+        """A kill mid-write after the stop record must not lose the
+        stop provenance already on disk."""
+        path = tmp_path / "traj.jsonl"
+        recorder = TrajectoryRecorder(path=path)
+        _drive(recorder, ["Masked", "SDC"])
+        recorder.on_stop(_Decision(n=2, avm=0.5))
+        recorder.close()
+        with open(path, "a") as fh:
+            fh.write('{"type": "trajectory", "cell": "torn')  # no newline
+        loaded = load_trajectory(path)
+        assert [p.stop_rule for p in loaded] == [None, None, "ci-target"]
+
+    def test_executor_emits_stop_point(self, tmp_path, wa_models):
+        """End to end: an adaptive cell under a live recorder lands its
+        stop decision in the trajectory stream."""
+        from repro.campaign.adaptive import AdaptiveConfig
+        from repro.campaign.executor import CampaignExecutor
+        from repro.campaign.runner import CampaignRunner
+        from repro.circuit.liberty import VR20
+        from repro.workloads import make_workload
+
+        runner = CampaignRunner(
+            make_workload("kmeans", scale="tiny", seed=11), seed=11)
+        runner.golden()
+        recorder = TrajectoryRecorder()
+        config = AdaptiveConfig(ci_target=0.28, min_runs=4, growth=1.5)
+        with CampaignExecutor(runner, monitor=recorder) as executor:
+            result = executor.run_cell(wa_models["kmeans"], VR20,
+                                       runs=16, adaptive=config)
+        stop = result.stats.stop
+        stop_points = [p for p in recorder.points
+                       if p.stop_rule is not None]
+        assert len(stop_points) == 1
+        assert stop_points[0].runs_done == stop.n
+        assert stop_points[0].stop_rule == stop.rule
+        assert stop_points[0].ci_lo == stop.ci_lo
+        assert stop_points[0].ci_hi == stop.ci_hi
 
 
 class TestHtmlSection:
