@@ -72,16 +72,41 @@ class FastForwardConfig:
     ``interval=None`` means "initial snapshot only" (the CLI's
     ``--snapshot-interval inf``): runs still reuse the golden output and
     the early exit, but always replay from the initial state.
+
+    ``page_store_dir`` names a local artifact-store directory to back
+    the snapshot pages (the ``pages`` namespace of
+    :class:`~repro.artifacts.ArtifactStore`).  Every field is a plain
+    value, so the config survives a JSON round trip — shard workers
+    receive it inside the campaign spec.
     """
 
     enabled: bool = True
     interval: Optional[int] = DEFAULT_INTERVAL
+    page_store_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.interval is not None and self.interval < 1:
             raise ValueError(
                 f"snapshot interval must be >= 1, got {self.interval}"
             )
+
+    def to_dict(self) -> dict:
+        return {"enabled": self.enabled, "interval": self.interval,
+                "page_store_dir": self.page_store_dir}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FastForwardConfig":
+        return cls(enabled=bool(data.get("enabled", True)),
+                   interval=data.get("interval", DEFAULT_INTERVAL),
+                   page_store_dir=data.get("page_store_dir"))
+
+    def make_pages(self) -> PageStore:
+        """A page store honouring ``page_store_dir`` (shared when set)."""
+        if self.page_store_dir is None:
+            return PageStore()
+        from repro.artifacts import ArtifactStore
+
+        return PageStore(artifacts=ArtifactStore.local(self.page_store_dir))
 
 
 @dataclass(frozen=True)
@@ -112,12 +137,14 @@ class SnapshotStore:
     """
 
     def __init__(self, workload_name: str,
-                 interval: Optional[int] = DEFAULT_INTERVAL):
+                 interval: Optional[int] = DEFAULT_INTERVAL,
+                 pages_factory=PageStore):
         if interval is not None and interval < 1:
             raise ValueError(f"snapshot interval must be >= 1, got {interval}")
         self.workload_name = workload_name
         self.interval = interval
-        self.pages = PageStore()
+        self._pages_factory = pages_factory
+        self.pages = pages_factory()
         self.boundaries: List[Boundary] = []
         self.golden_output: object = None
         self.early_exit_safe = False
@@ -175,7 +202,7 @@ class SnapshotStore:
             raise ValueError(f"{workload.name} is not checkpointable")
         if trap_probe is None:
             trap_probe = ctx.trap_nonfinite
-        self.pages = PageStore()
+        self.pages = self._pages_factory()
         self.boundaries = []
         self._by_digest = {}
         self._quarantined = set()

@@ -203,8 +203,10 @@ class CampaignRunner:
         )
         snapshots: Optional[SnapshotStore] = None
         if self.fastforward.enabled and self.workload.checkpointable:
-            snapshots = SnapshotStore(self.workload.name,
-                                      interval=self.fastforward.interval)
+            snapshots = SnapshotStore(
+                self.workload.name,
+                interval=self.fastforward.interval,
+                pages_factory=self.fastforward.make_pages)
             try:
                 output = snapshots.build(self.workload, ctx)
             except GuestFpException:

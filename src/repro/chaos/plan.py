@@ -20,8 +20,10 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-#: Artifact classes the filesystem shim can target.
-FS_TARGETS = ("journal", "cache", "store", "page")
+#: Artifact classes the filesystem shim can target.  "artifact" is the
+#: unified content-addressed store's default write class (objects and
+#: refs that are not journals/cache entries/pages).
+FS_TARGETS = ("journal", "cache", "store", "page", "artifact")
 
 #: Fault kinds the filesystem shim understands, per write/read.
 FS_KINDS = ("eio", "enospc", "torn", "bitrot")

@@ -132,9 +132,190 @@ def _cmd_characterize(args) -> int:
     return 0
 
 
+def _parse_snapshot_interval(args):
+    if args.snapshot_interval == "inf":
+        return None
+    try:
+        return int(args.snapshot_interval)
+    except ValueError:
+        raise SystemExit(
+            f"error: --snapshot-interval {args.snapshot_interval!r}: "
+            f"expected a positive integer or 'inf'"
+        )
+
+
+def _cmd_campaign_sharded(args) -> int:
+    """`campaign --shards N`: partition cells, run workers, merge.
+
+    The campaign lives in the artifact store at ``--store``: staged
+    models, the durable work queue, per-cell journals, and (after the
+    merge) the archived inputs + canonical merged journal.  Re-running
+    the same command is a resume — done cells stay done, in-flight
+    journals resume, and the merge is idempotent.
+    """
+    from repro import chaos
+    from repro.artifacts import ArtifactStore
+    from repro.campaign.shard import CampaignSpec, ShardCoordinator
+    from repro.observe.html_report import load_campaign_results
+
+    if not args.store:
+        raise SystemExit(
+            "error: --shards needs --store DIR (the artifact store all "
+            "shard workers share)")
+    chaos_injector = chaos.install_from_env()
+    points = _points_for(args.vr)
+    store_root = Path(args.store)
+    artifact_store = ArtifactStore.local(store_root)
+    fastforward = FastForwardConfig(
+        enabled=args.fast_forward,
+        interval=_parse_snapshot_interval(args),
+        # Snapshot pages go through the shared store, so every worker
+        # reuses pages any other worker already built.
+        page_store_dir=str(store_root) if args.fast_forward else None,
+    )
+    campaign_id = args.campaign_id or f"{args.benchmark}-s{args.seed}"
+
+    if args.model_file:
+        model = store.load_any(args.model_file)
+    else:
+        runner = CampaignRunner(
+            make_workload(args.benchmark, scale=args.scale,
+                          seed=args.seed), seed=args.seed)
+        model = characterize_wa(runner.golden().profile, points)
+    adaptive_dict = None
+    if args.adaptive or args.importance:
+        from dataclasses import asdict
+
+        from repro.campaign.adaptive import AdaptiveConfig
+
+        adaptive_dict = asdict(AdaptiveConfig(ci_target=args.ci_target,
+                                              min_runs=args.min_runs,
+                                              importance=args.importance))
+    spec = CampaignSpec(
+        campaign_id=campaign_id,
+        benchmark=args.benchmark,
+        scale=args.scale,
+        seed=args.seed,
+        runs=args.runs,
+        shards=args.shards,
+        points=tuple(CampaignSpec.point_dict(p) for p in points),
+        models=(model.name,),
+        adaptive=adaptive_dict,
+        fastforward=fastforward.to_dict(),
+        executor={"workers": args.workers,
+                  "wall_clock_timeout": args.wall_timeout,
+                  "fsync": args.fsync},
+    )
+    coordinator = ShardCoordinator.create(artifact_store, spec, [model])
+
+    status_board = None
+    control_plane = None
+    if args.serve:
+        from repro.observe.httpd import ControlPlane, StatusBoard
+        from repro.telemetry import metrics as metrics_registry
+
+        registry = metrics_registry.enable()
+        status_board = StatusBoard()
+        status_board.begin_campaign(
+            args.benchmark, args.seed,
+            cells_total=len(points) * len(spec.models),
+            extra={"scale": args.scale, "runs_per_cell": args.runs,
+                   "shards": args.shards})
+        status_board.update_shards(coordinator.status())
+        control_plane = ControlPlane(registry, status_board, None,
+                                     port=args.metrics_port)
+        bound = control_plane.start()
+        print(f"control plane: http://127.0.0.1:{bound} "
+              f"(/metrics /status)", file=sys.stderr)
+        if args.port_file:
+            _check_parent_dir(args.port_file, "--port-file")
+            Path(args.port_file).write_text(f"{bound}\n",
+                                            encoding="utf-8")
+
+    try:
+        if args.shard_procs:
+            supervision = coordinator.run_processes(
+                status_board=status_board)
+            restarts = sum(supervision["restarts"].values())
+        else:
+            restarts = 0
+            for summary in coordinator.run_inline():
+                print(f"shard worker {summary['worker']}: "
+                      f"{summary['items']} cell(s), "
+                      f"{summary['runs']} run(s)", file=sys.stderr)
+        if status_board is not None:
+            status_board.update_shards(coordinator.status())
+            status_board.close()
+
+        if args.journal:
+            _check_parent_dir(args.journal, "--journal")
+            merged_path = Path(args.journal)
+        else:
+            merged_dir = store_root / "merged"
+            merged_dir.mkdir(parents=True, exist_ok=True)
+            merged_path = merged_dir / f"{campaign_id}.jsonl"
+        report = coordinator.merge(merged_path)
+    finally:
+        if control_plane is not None:
+            if args.serve_grace > 0:
+                print(f"control plane: serving final state for "
+                      f"{args.serve_grace:g}s more", file=sys.stderr)
+                time.sleep(args.serve_grace)
+            control_plane.close()
+        if chaos_injector is not None:
+            chaos.uninstall()
+
+    results = load_campaign_results(merged_path)
+    print(outcome_table(results))
+    print()
+    status = coordinator.status()
+    print(f"sharded campaign {campaign_id!r}: {spec.shards} shard(s), "
+          f"{status['done']}/{status['items']} cell(s) done, "
+          f"{restarts} worker restart(s)")
+    print(f"merged journal: {merged_path} ({report['runs']} run(s), "
+          f"{report['cells']} cell summary(ies), {report['stops']} "
+          f"stop decision(s); {report['torn_lines']} torn line(s) and "
+          f"{report['crc_failures']} corrupt line(s) dropped)")
+    manifest = report["manifest"]
+    print(f"archived: {len(manifest['shards'])} shard journal(s) + "
+          f"merged at {manifest['merged'][:12]}… in {store_root}")
+    if args.runs and adaptive_dict is not None:
+        budget = args.runs * len(results)
+        executed = sum(r.counts.total for r in results)
+        print(f"adaptive: {executed}/{budget} runs "
+              f"({max(0, budget - executed)} saved)")
+    stats = artifact_store.stats()
+    if stats["corrupt"] or stats["quarantined"]:
+        print(f"artifact store: {stats['corrupt']} corrupt object(s), "
+              f"{stats['quarantined']} quarantined entr(ies) — "
+              f"recomputed transparently")
+    return 0
+
+
+def _cmd_shard_worker(args) -> int:
+    """`shard-worker`: one worker process of a sharded campaign."""
+    import json as json_mod
+
+    from repro import chaos
+    from repro.campaign.shard import run_worker
+
+    chaos_injector = chaos.install_from_env()
+    try:
+        summary = run_worker(args.store, args.campaign,
+                             worker_id=args.worker_id, shard=args.shard,
+                             steal=not args.no_steal, wait=not args.no_wait)
+    finally:
+        if chaos_injector is not None:
+            chaos.uninstall()
+    print(json_mod.dumps(summary))
+    return 0
+
+
 def _cmd_campaign(args) -> int:
     from repro import chaos
 
+    if getattr(args, "shards", 0):
+        return _cmd_campaign_sharded(args)
     if args.flight and not args.trace:
         raise SystemExit(
             "error: --flight records runs into the telemetry trace; "
@@ -222,18 +403,8 @@ def _cmd_campaign(args) -> int:
     points = _points_for(args.vr)
     workload = make_workload(args.benchmark, scale=args.scale,
                              seed=args.seed)
-    if args.snapshot_interval == "inf":
-        interval = None
-    else:
-        try:
-            interval = int(args.snapshot_interval)
-        except ValueError:
-            raise SystemExit(
-                f"error: --snapshot-interval {args.snapshot_interval!r}: "
-                f"expected a positive integer or 'inf'"
-            )
     fastforward = FastForwardConfig(enabled=args.fast_forward,
-                                    interval=interval)
+                                    interval=_parse_snapshot_interval(args))
     runner = CampaignRunner(workload, seed=args.seed,
                             fastforward=fastforward)
     try:
@@ -692,6 +863,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="snapshot spacing in step boundaries, or 'inf' "
                         "for the initial snapshot only "
                         f"(default {DEFAULT_INTERVAL})")
+    p.add_argument("--shards", type=int, default=0,
+                   help="partition the campaign's cells into this many "
+                        "shards over a shared artifact store (requires "
+                        "--store); the merged journal is bit-identical "
+                        "to an unsharded run's")
+    p.add_argument("--store", default=None,
+                   help="artifact store directory shared by all shard "
+                        "workers (staged models, work queue, per-cell "
+                        "journals, archived merge)")
+    p.add_argument("--campaign-id", default=None,
+                   help="name of the sharded campaign in the store "
+                        "(default '<benchmark>-s<seed>'); re-running "
+                        "with the same id resumes it")
+    p.add_argument("--shard-procs", action="store_true",
+                   help="one OS-process worker per shard (crash-"
+                        "isolated, self-healing via lease stealing) "
+                        "instead of draining shards in-process")
+
+    p = sub.add_parser(
+        "shard-worker",
+        help="drain work items of a sharded campaign",
+        description="One worker of a `campaign --shards N` fleet: "
+                    "claims leased work items from the store's durable "
+                    "queue, runs each cell through the executor with "
+                    "its journal resumed, and steals stale leases from "
+                    "dead workers unless --no-steal.")
+    p.add_argument("--store", required=True,
+                   help="the campaign's artifact store directory")
+    p.add_argument("--campaign", required=True,
+                   help="campaign id inside the store")
+    p.add_argument("--shard", type=int, default=None,
+                   help="preferred shard (its items are claimed first)")
+    p.add_argument("--worker-id", default=None,
+                   help="stable worker name for leases/status "
+                        "(default 'worker-<pid>')")
+    p.add_argument("--no-steal", action="store_true",
+                   help="never claim items outside --shard")
+    p.add_argument("--no-wait", action="store_true",
+                   help="exit when nothing is claimable instead of "
+                        "waiting for stragglers to finish or die")
 
     p = sub.add_parser(
         "chaos",
@@ -815,6 +1026,7 @@ def main(argv=None) -> int:
         "list": _cmd_list,
         "characterize": _cmd_characterize,
         "campaign": _cmd_campaign,
+        "shard-worker": _cmd_shard_worker,
         "chaos": _cmd_chaos,
         "trace": _cmd_trace,
         "report": _cmd_report,

@@ -72,6 +72,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import artifacts as artifacts_mod
 from repro.circuit.backend import DEFAULT_TIMING_BACKEND, TIMING_BACKENDS
 from repro.circuit.liberty import OperatingPoint
 from repro.errors.base import Provenance, WorkloadProfile
@@ -213,69 +214,110 @@ def cache_key(kind: str, *,
 
 
 class ModelCache:
-    """Content-addressed on-disk model cache over ``errors.store``.
+    """Content-addressed model cache over the unified artifact store.
 
-    Entries are ordinary store artifacts (inspectable JSON, provenance
-    included) named by their key prefix.  A hit returns the stored
-    model; an unreadable, truncated, checksum-failing or format-stale
-    entry counts as ``characterize.cache.invalid``, is *quarantined*
-    (renamed aside with a ``.quarantined`` suffix so the corrupt bytes
+    Entries live in the :class:`~repro.artifacts.ArtifactStore` under
+    the ``model-cache`` namespace: the cached bytes are an ordinary
+    store artifact (inspectable JSON, provenance included) held as a
+    SHA-256-addressed object, with a ref named by the cache-key prefix
+    pointing at it.  Because the namespace partitions the store, a
+    model key can never alias a snapshot page or journal stored in the
+    same backend.
+
+    A hit returns the stored model; an unreadable, truncated,
+    checksum-failing or format-stale entry counts as
+    ``characterize.cache.invalid``, is *quarantined* (ref and object
+    renamed aside with a ``.quarantined`` suffix so the corrupt bytes
     stay inspectable but can never be served) and falls back to
     recomputation, after which the entry is rewritten atomically.  A
     failing write (disk full, injected fault) degrades to "not cached"
     instead of failing the characterisation.
     """
 
-    _LOADERS = {"DA": store.load_da, "IA": store.load_ia,
-                "WA": store.load_wa}
-    _SAVERS = {"DA": store.save_da, "IA": store.save_ia,
-               "WA": store.save_wa}
+    NAMESPACE = "model-cache"
 
-    def __init__(self, root: PathLike):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(self, root: Optional[PathLike] = None,
+                 artifacts: Optional["artifacts_mod.ArtifactStore"] = None):
+        if artifacts is None:
+            if root is None:
+                raise ValueError("ModelCache needs a root dir or an "
+                                 "ArtifactStore")
+            artifacts = artifacts_mod.ArtifactStore.local(root)
+        self.artifacts = artifacts
+        root = artifacts.local_root if root is None else Path(root)
+        self.root = root
         self._stats = {"hit": 0, "miss": 0, "invalid": 0,
                        "quarantined": 0, "store_errors": 0}
 
+    @staticmethod
+    def _name(kind: str, key: str) -> str:
+        return f"{kind.lower()}_{key[:32]}.json"
+
     def path(self, kind: str, key: str) -> Path:
-        return self.root / f"{kind.lower()}_{key[:32]}.json"
+        """Local path of the cached artifact's content bytes.
+
+        Resolves through the ref to the content-addressed object, so
+        the returned file holds the exact model JSON (loadable with
+        :func:`repro.errors.store.load_any`).  For an entry that was
+        never stored, the (non-existent) ref path is returned so
+        ``path(...).exists()`` keeps meaning "cached".
+        """
+        name = self._name(kind, key)
+        try:
+            address = self.artifacts.resolve(self.NAMESPACE, name)
+        except artifacts_mod.ArtifactIntegrityError:
+            address = None
+        if address is None:
+            return self.artifacts.ref_path(self.NAMESPACE, name)
+        return self.artifacts.object_path(address)
 
     def _count(self, outcome: str) -> None:
         self._stats[outcome] += 1
         telemetry.count(f"characterize.cache.{outcome}")
 
-    def _quarantine(self, path: Path) -> None:
-        """Move a corrupt entry aside; it must never be loadable again."""
-        try:
-            os.replace(path, path.with_name(path.name + ".quarantined"))
+    def _invalidate(self, name: str) -> None:
+        """Quarantine a corrupt entry; it must never be served again."""
+        self._count("invalid")
+        if self.artifacts.quarantine(self.NAMESPACE, name):
             self._count("quarantined")
-        except OSError:  # pragma: no cover - entry vanished underneath
-            pass
 
     def load(self, kind: str, key: str):
-        path = self.path(kind, key)
-        if not path.exists():
+        name = self._name(kind, key)
+        try:
+            blob = self.artifacts.get(self.NAMESPACE, name)
+        except artifacts_mod.ArtifactIntegrityError:
+            # The store already quarantined the rotted object/ref pair
+            # (bit-rot caught by content addressing, dangling refs).
+            self._count("invalid")
+            self._count("quarantined")
+            return None
+        if blob is None:
             self._count("miss")
             return None
         try:
-            model = self._LOADERS[kind](path)
+            model = store.loads_model(blob, kind)
         except Exception:
-            # Corrupt (bit-rot caught by the artifact checksum, torn
-            # JSON) or stale (an older format_version the store no
-            # longer accepts): quarantine, recompute, rewrite.
-            self._count("invalid")
-            self._quarantine(path)
+            # Corrupt (torn JSON, artifact-checksum failure) or stale
+            # (an older format_version the store no longer accepts):
+            # quarantine, recompute, rewrite.
+            self._invalidate(name)
             return None
         self._count("hit")
         return model
 
     def store(self, kind: str, key: str, model) -> Optional[Path]:
-        path = self.path(kind, key)
+        name = self._name(kind, key)
         try:
-            # Store saves are atomic (temp + fsync + replace) already.
-            return self._SAVERS[kind](model, path, target="cache")
+            # Artifact-store puts are atomic (temp + fsync + replace).
+            address = self.artifacts.put(self.NAMESPACE, name,
+                                         store.dumps_model(model),
+                                         target="cache")
         except OSError:
             self._count("store_errors")
+            return None
+        try:
+            return self.artifacts.object_path(address)
+        except NotImplementedError:  # memory/S3-shaped backend
             return None
 
     def stats(self) -> Dict[str, int]:

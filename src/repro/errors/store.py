@@ -95,11 +95,15 @@ def _unwrap(data: dict, expected_kind: str) -> dict:
     return data["payload"]
 
 
+def _encode(envelope: dict) -> bytes:
+    return (json.dumps(envelope, indent=2) + "\n").encode("utf-8")
+
+
 def _save(envelope: dict, path: PathLike, target: str) -> Path:
     # The JSON round-trip through ``durable`` is crash-consistent: a
     # kill at any instant leaves the old artifact or the new, whole one.
-    data = (json.dumps(envelope, indent=2) + "\n").encode("utf-8")
-    return durable.atomic_write_bytes(Path(path), data, target=target)
+    return durable.atomic_write_bytes(Path(path), _encode(envelope),
+                                      target=target)
 
 
 def _attach_provenance(model: ErrorModel, data: dict) -> ErrorModel:
@@ -109,36 +113,83 @@ def _attach_provenance(model: ErrorModel, data: dict) -> ErrorModel:
     return model
 
 
+def model_kind(model: ErrorModel) -> str:
+    """The artifact kind tag ("DA"/"IA"/"WA") of a model instance."""
+    if isinstance(model, DaModel):
+        return "DA"
+    if isinstance(model, IaModel):
+        return "IA"
+    if isinstance(model, WaModel):
+        return "WA"
+    raise TypeError(f"cannot serialise a {type(model).__name__}")
+
+
+def _payload(model: ErrorModel, kind: str) -> dict:
+    if kind == "DA":
+        return {"fixed_error_ratios": model.fixed_error_ratios,
+                "injection_window": model.injection_window}
+    if kind == "IA":
+        return {"stats": model.to_dict(),
+                "injection_window": model.injection_window}
+    return model.to_dict()
+
+
+def _build(kind: str, payload: dict):
+    if kind == "DA":
+        return DaModel(payload["fixed_error_ratios"],
+                       injection_window=int(payload["injection_window"]))
+    if kind == "IA":
+        model = IaModel.from_dict(payload["stats"])
+        model.injection_window = int(payload["injection_window"])
+        return model
+    return WaModel.from_dict(payload)
+
+
+def dumps_model(model: ErrorModel) -> bytes:
+    """Serialise a model to its checksummed artifact bytes.
+
+    The byte-level twin of :func:`save_da`/:func:`save_ia`/
+    :func:`save_wa`: same envelope, no filesystem — it is how models
+    travel through the unified :class:`~repro.artifacts.ArtifactStore`
+    (the ModelCache, and staged models shard workers load by ref).
+    """
+    kind = model_kind(model)
+    return _encode(_wrap(kind, _payload(model, kind), model.provenance))
+
+
+def loads_model(blob: bytes, expected_kind: Optional[str] = None):
+    """Parse artifact bytes back into a model, verifying the checksum.
+
+    Rejects a kind mismatch when ``expected_kind`` is given; raises
+    :class:`ArtifactCorruption` on checksum failure, ``ValueError`` on
+    unsupported formats — exactly the :func:`load_da`-family contract.
+    """
+    data = json.loads(blob.decode("utf-8"))
+    kind = data.get("model")
+    if kind not in ("DA", "IA", "WA"):
+        raise ValueError(f"unknown model kind {kind!r} in artifact")
+    payload = _unwrap(data, expected_kind or kind)
+    return _attach_provenance(_build(kind, payload), data)
+
+
 def save_da(model: DaModel, path: PathLike,
             target: str = "store") -> Path:
-    payload = {
-        "fixed_error_ratios": model.fixed_error_ratios,
-        "injection_window": model.injection_window,
-    }
-    return _save(_wrap("DA", payload, model.provenance), path, target)
+    return _save(_wrap("DA", _payload(model, "DA"), model.provenance),
+                 path, target)
 
 
 def load_da(path: PathLike) -> DaModel:
-    data = json.loads(Path(path).read_text())
-    payload = _unwrap(data, "DA")
-    model = DaModel(payload["fixed_error_ratios"],
-                    injection_window=int(payload["injection_window"]))
-    return _attach_provenance(model, data)
+    return loads_model(Path(path).read_bytes(), "DA")
 
 
 def save_ia(model: IaModel, path: PathLike,
             target: str = "store") -> Path:
-    payload = {"stats": model.to_dict(),
-               "injection_window": model.injection_window}
-    return _save(_wrap("IA", payload, model.provenance), path, target)
+    return _save(_wrap("IA", _payload(model, "IA"), model.provenance),
+                 path, target)
 
 
 def load_ia(path: PathLike) -> IaModel:
-    data = json.loads(Path(path).read_text())
-    payload = _unwrap(data, "IA")
-    model = IaModel.from_dict(payload["stats"])
-    model.injection_window = int(payload["injection_window"])
-    return _attach_provenance(model, data)
+    return loads_model(Path(path).read_bytes(), "IA")
 
 
 def save_wa(model: WaModel, path: PathLike,
@@ -148,16 +199,9 @@ def save_wa(model: WaModel, path: PathLike,
 
 
 def load_wa(path: PathLike) -> WaModel:
-    data = json.loads(Path(path).read_text())
-    payload = _unwrap(data, "WA")
-    return _attach_provenance(WaModel.from_dict(payload), data)
+    return loads_model(Path(path).read_bytes(), "WA")
 
 
 def load_any(path: PathLike):
     """Load whichever model kind the artifact holds."""
-    data = json.loads(Path(path).read_text())
-    kind = data.get("model")
-    loaders = {"DA": load_da, "IA": load_ia, "WA": load_wa}
-    if kind not in loaders:
-        raise ValueError(f"unknown model kind {kind!r} in {path}")
-    return loaders[kind](path)
+    return loads_model(Path(path).read_bytes())

@@ -54,7 +54,7 @@ __all__ = [
 
 #: Bumped when the /status document shape changes.
 #: v2: adaptive-sampling block (stop decisions, runs saved) added.
-STATUS_VERSION = 2
+STATUS_VERSION = 3
 
 
 class CampaignMetrics:
@@ -188,6 +188,7 @@ class StatusBoard:
         self._adaptive: Dict[str, Any] = {
             "cells_stopped": 0, "stops_by_rule": {}, "runs_saved": 0,
         }
+        self._shards: Optional[Dict[str, Any]] = None
         self.port: Optional[int] = None
 
     def begin_campaign(self, benchmark: str, seed: int,
@@ -273,6 +274,15 @@ class StatusBoard:
             self._cells.append(summary)
             self._current = None
 
+    def update_shards(self, status: Dict[str, Any]) -> None:
+        """Aggregate shard-queue state from a ShardCoordinator poll.
+
+        ``status`` is :meth:`repro.campaign.shard.ShardCoordinator.status`
+        output: items/done totals, per-shard progress, live leases.
+        """
+        with self._lock:
+            self._shards = dict(status)
+
     def close(self) -> None:
         with self._lock:
             self._finished = True
@@ -306,6 +316,8 @@ class StatusBoard:
                     "runs_saved": self._adaptive["runs_saved"],
                 },
                 "cells": [dict(cell) for cell in self._cells],
+                "shards": (dict(self._shards)
+                           if self._shards is not None else None),
             }
 
 

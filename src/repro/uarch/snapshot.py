@@ -64,12 +64,25 @@ class PageStore:
     within one snapshot or across snapshots — are stored once.  The
     store only ever grows; restore never mutates it, which is what makes
     one store safely shareable read-only across forked workers.
+
+    By default pages live in memory only.  Given an
+    :class:`~repro.artifacts.ArtifactStore`, the store writes through to
+    the ``pages`` namespace and reads back misses, so snapshot pages
+    built by one process (a shard worker, say) are deduplicated and
+    reusable across every process sharing the same artifact directory.
+    The in-memory dict then acts as a read cache; persistence failures
+    degrade to memory-only (counted, never fatal).
     """
 
-    def __init__(self):
+    NAMESPACE = "pages"
+
+    def __init__(self, artifacts=None):
         self._pages: Dict[bytes, bytes] = {}
+        self.artifacts = artifacts
         self.logical_bytes = 0   # bytes handed to put()
         self.stored_bytes = 0    # bytes actually kept (after dedup)
+        self.persist_errors = 0  # artifact-store writes that failed
+        self.backing_reads = 0   # misses served by the artifact store
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -84,8 +97,30 @@ class PageStore:
             if key not in self._pages:
                 self._pages[key] = page
                 self.stored_bytes += len(page)
+                if self.artifacts is not None:
+                    try:
+                        self.artifacts.put(self.NAMESPACE, key.hex(),
+                                           page, target="page")
+                    except OSError:
+                        self.persist_errors += 1
             keys.append(key)
         return keys
+
+    def _fetch(self, key: bytes) -> Optional[bytes]:
+        """A page from the artifact backing, or None."""
+        if self.artifacts is None:
+            return None
+        try:
+            page = self.artifacts.get(self.NAMESPACE, key.hex())
+        except Exception:
+            # Integrity failure: the store quarantined the rotted
+            # object; for the restore path that is the same as missing.
+            return None
+        if page is not None:
+            self.backing_reads += 1
+            self._pages[key] = page
+            self.stored_bytes += len(page)
+        return page
 
     def get(self, keys: List[bytes], verify: bool = True) -> bytes:
         """Reassemble the byte string behind a page-key sequence.
@@ -101,6 +136,8 @@ class PageStore:
         chunks: List[bytes] = []
         for key in keys:
             page = self._pages.get(key)
+            if page is None:
+                page = self._fetch(key)
             if page is None:
                 raise PageCorruption(
                     f"page {key.hex()} is missing from the store")
@@ -120,6 +157,8 @@ class PageStore:
             "dedup_saved_bytes": saved,
             "dedup_ratio": (saved / self.logical_bytes
                             if self.logical_bytes else 0.0),
+            "persist_errors": self.persist_errors,
+            "backing_reads": self.backing_reads,
         }
 
 

@@ -70,6 +70,58 @@ def get_fault_hook() -> FaultHook:
     return _HOOK
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether a pid currently names a live process (same host)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user's
+        return True
+    except OSError:  # pragma: no cover - platform quirk: assume alive
+        return True
+    return True
+
+
+def sweep_orphan_tmps(directory: PathLike) -> int:
+    """Remove atomic-write temp files orphaned by a dead process.
+
+    :func:`atomic_write_bytes` cleans its temp file up on every failure
+    it can observe, but a SIGKILL (or power loss) between the tmp write
+    and ``os.replace`` leaks a ``.{name}.{pid}.tmp`` file into the
+    target directory.  Stores call this on open: any ``*.tmp`` matching
+    the atomic-write naming scheme whose embedded pid is not alive is
+    deleted — the write it belonged to never committed, so the bytes
+    are garbage by definition.  Tmp files of live pids are left alone
+    (a concurrent writer mid-``atomic_write_bytes``).  Returns the
+    number of files removed.
+    """
+    directory = Path(directory)
+    removed = 0
+    try:
+        entries = list(directory.iterdir())
+    except OSError:
+        return 0
+    for entry in entries:
+        name = entry.name
+        if not (name.startswith(".") and name.endswith(".tmp")):
+            continue
+        # ".{original}.{pid}.tmp" — the pid is the second-to-last piece.
+        parts = name[:-len(".tmp")].rsplit(".", 1)
+        if len(parts) != 2 or not parts[1].isdigit():
+            continue
+        if _pid_alive(int(parts[1])):
+            continue
+        try:
+            entry.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - raced with another sweeper
+            pass
+    return removed
+
+
 def fsync_directory(path: PathLike) -> None:
     """Best-effort fsync of a directory (persists a rename/creation)."""
     try:

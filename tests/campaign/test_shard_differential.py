@@ -1,0 +1,312 @@
+"""Cross-shard equivalence harness: sharded campaigns vs single-process.
+
+The sharding contract is *bit-identity*: partitioning a campaign's
+cells across any number of shards, draining them with any worker
+geometry, merging the per-shard journals — none of it may move a single
+journal record, AVM value or adaptive stop decision relative to the
+plain single-process campaign.  The proof obligations:
+
+1. **Matrix identity**: shard counts {1, 2, 4, 7} × executor workers
+   {1, 4} × fast-forward {on, off} × adaptive {on, off} all produce a
+   merged canonical journal equal to the unsharded reference's, with
+   equal per-cell outcome counts and AVMs.  The references run
+   fast-forward *off*; fast-forward-on shards matching them re-proves
+   snapshot outcome-invariance across the shard boundary.
+2. **Kill-and-resume**: SIGKILL an arbitrary subprocess shard worker
+   mid-cell, heal with fresh workers (the stale lease is re-acquired,
+   the item's journal resumes), merge — still bit-identical.
+3. **Process geometry**: one OS process per shard via the coordinator's
+   supervisor gives the same canonical journal as in-process draining.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.artifacts import ArtifactStore
+from repro.campaign.adaptive import AdaptiveConfig
+from repro.campaign.executor import CampaignExecutor, ExecutorConfig
+from repro.campaign.fastforward import FastForwardConfig
+from repro.campaign.journal import canonical_journal
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.shard import (
+    NS_JOURNALS,
+    CampaignSpec,
+    ShardCoordinator,
+    cell_shard,
+    journal_key,
+)
+from repro.observe.html_report import load_campaign_results
+from repro.workloads import make_workload
+
+from tests.conftest import POINTS
+
+RUNS = 12
+SEED = 11
+
+#: Same stopping-rule shape as the adaptive differential suite: loose
+#: enough that cells converge mid-schedule at tiny scale, so the stop
+#: decisions themselves become part of the identity being proven.
+ADAPTIVE = AdaptiveConfig(ci_target=0.28, min_runs=4, growth=1.5,
+                          reallocate=False)
+
+
+@pytest.fixture(scope="module")
+def models(wa_models, ia_model):
+    return (wa_models["kmeans"], ia_model)
+
+
+def _reference(tmp_path, models, adaptive=None):
+    """Single-process, serial, fast-forward-off: the ground truth."""
+    runner = CampaignRunner(
+        make_workload("kmeans", scale="tiny", seed=SEED), seed=SEED,
+        fastforward=FastForwardConfig(enabled=False))
+    path = tmp_path / "reference.jsonl"
+    results = {}
+    config = ExecutorConfig(journal_path=str(path))
+    with CampaignExecutor(runner, config=config) as executor:
+        for model in models:
+            for point in POINTS:
+                results[(model.name, point.name)] = executor.run_cell(
+                    model, point, runs=RUNS, adaptive=adaptive)
+    return results, path
+
+
+@pytest.fixture(scope="module")
+def fixed_reference(tmp_path_factory, models):
+    return _reference(tmp_path_factory.mktemp("shard-fixed-ref"), models)
+
+
+@pytest.fixture(scope="module")
+def adaptive_reference(tmp_path_factory, models):
+    return _reference(tmp_path_factory.mktemp("shard-adaptive-ref"),
+                      models, adaptive=ADAPTIVE)
+
+
+def _make_spec(campaign_id, store_root, models, shards, workers=0,
+               fastforward=False, adaptive=False, runs=RUNS):
+    ff = (FastForwardConfig(interval=7, page_store_dir=str(store_root))
+          if fastforward else FastForwardConfig(enabled=False))
+    return CampaignSpec(
+        campaign_id=campaign_id,
+        benchmark="kmeans",
+        scale="tiny",
+        seed=SEED,
+        runs=runs,
+        shards=shards,
+        points=tuple(CampaignSpec.point_dict(p) for p in POINTS),
+        models=tuple(m.name for m in models),
+        adaptive=asdict(ADAPTIVE) if adaptive else None,
+        fastforward=ff.to_dict(),
+        executor={"workers": workers},
+    )
+
+
+def _run_sharded(tmp_path, models, shards, workers=0, fastforward=False,
+                 adaptive=False):
+    store = ArtifactStore.local(tmp_path / "store")
+    spec = _make_spec(f"diff-{shards}-{workers}", tmp_path / "store",
+                      models, shards, workers=workers,
+                      fastforward=fastforward, adaptive=adaptive)
+    coordinator = ShardCoordinator.create(store, spec, list(models))
+    coordinator.run_inline()
+    merged = tmp_path / "merged.jsonl"
+    report = coordinator.merge(merged)
+    return coordinator, merged, report
+
+
+def _assert_results_identical(merged, reference_results):
+    """Per-cell outcome counts and AVMs equal the reference's, exactly."""
+    sharded = {(r.model, r.point): r
+               for r in load_campaign_results(merged)}
+    assert set(sharded) == set(reference_results)
+    for cell, reference in reference_results.items():
+        result = sharded[cell]
+        assert result.counts.counts == reference.counts.counts, cell
+        assert result.avm == reference.avm, cell
+
+
+#: Every axis value appears under both adaptive settings; fast-forward
+#: and worker-pool geometry rotate through so no combination class goes
+#: untested, without paying for the full 32-way cross product.
+MATRIX = [
+    (1, 1, False, False),
+    (2, 4, False, False),
+    (4, 1, True, False),
+    (7, 4, True, False),
+    (1, 4, True, True),
+    (2, 1, True, True),
+    (4, 4, False, True),
+    (7, 1, False, True),
+]
+
+
+class TestShardMatrix:
+    @pytest.mark.parametrize("shards,workers,fastforward,adaptive",
+                             MATRIX)
+    def test_merged_journal_bit_identical(self, tmp_path, models,
+                                          fixed_reference,
+                                          adaptive_reference, shards,
+                                          workers, fastforward,
+                                          adaptive):
+        reference_results, reference_path = (
+            adaptive_reference if adaptive else fixed_reference)
+        _, merged, report = _run_sharded(
+            tmp_path, models, shards, workers=workers,
+            fastforward=fastforward, adaptive=adaptive)
+        assert report["torn_lines"] == 0
+        assert report["crc_failures"] == 0
+        assert canonical_journal(merged) == canonical_journal(
+            reference_path), (
+            f"shards={shards} workers={workers} ff={fastforward} "
+            f"adaptive={adaptive} diverged from the unsharded reference")
+        _assert_results_identical(merged, reference_results)
+
+    def test_partition_is_exact_and_stable(self, models):
+        """Every cell belongs to exactly one shard, deterministically."""
+        spec = _make_spec("partition", "/tmp/unused", models, 4)
+        owners = {}
+        for item in spec.items():
+            owners[(item["model"], item["point"]["name"])] = item["shard"]
+            assert item["shard"] == cell_shard(
+                "kmeans", item["model"], item["point"]["name"], 4)
+        assert len(owners) == len(models) * len(POINTS)
+
+    def test_merge_is_idempotent(self, tmp_path, models,
+                                 fixed_reference):
+        """A second merge of a finished campaign is byte-identical."""
+        _, reference_path = fixed_reference
+        coordinator, merged, _ = _run_sharded(tmp_path, models, 2)
+        first = merged.read_bytes()
+        coordinator.merge(merged)
+        assert merged.read_bytes() == first
+
+
+def _worker_env():
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    env = os.environ.copy()
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestProcessGeometry:
+    def test_process_per_shard_matches_reference(self, tmp_path, models,
+                                                 fixed_reference):
+        reference_results, reference_path = fixed_reference
+        store = ArtifactStore.local(tmp_path / "store")
+        spec = _make_spec("procs", tmp_path / "store", models, 2)
+        coordinator = ShardCoordinator.create(store, spec, list(models))
+        supervision = coordinator.run_processes(env=_worker_env())
+        assert sum(supervision["restarts"].values()) == 0
+        merged = tmp_path / "merged.jsonl"
+        coordinator.merge(merged)
+        assert canonical_journal(merged) == canonical_journal(
+            reference_path)
+        _assert_results_identical(merged, reference_results)
+
+
+class TestKillAndResume:
+    def test_sigkill_mid_cell_then_resume_is_bit_identical(
+            self, tmp_path, models, fixed_reference):
+        """The flagship crash case: SIGKILL an arbitrary shard worker
+        mid-flight, then heal with fresh in-process workers.
+
+        The dead worker leaves a leased, half-journaled item behind;
+        the healing worker must detect the dead pid, steal the lease,
+        resume the item's journal (replaying the committed prefix) and
+        finish it — and the merged journal must still be bit-identical
+        to the never-killed reference.
+        """
+        reference_results, reference_path = fixed_reference
+        store = ArtifactStore.local(tmp_path / "store")
+        spec = _make_spec("kill", tmp_path / "store", models, 2)
+        coordinator = ShardCoordinator.create(store, spec, list(models))
+
+        # Kill the shard owning the most cells: maximises the chance
+        # the worker is genuinely mid-cell when the signal lands.
+        by_shard = {}
+        for item in spec.items():
+            by_shard.setdefault(item["shard"], []).append(item)
+        victim_shard, victim_items = max(by_shard.items(),
+                                         key=lambda kv: len(kv[1]))
+        watches = [store.stream_path(NS_JOURNALS,
+                                     journal_key(spec.campaign_id,
+                                                 item["id"]))
+                   for item in victim_items]
+
+        def _committed_runs():
+            total = 0
+            for watch in watches:
+                try:
+                    total = max(total,
+                                watch.read_text().count('"type":"run"'))
+                except OSError:
+                    continue
+            return total
+
+        proc = subprocess.Popen(coordinator.worker_argv(victim_shard),
+                                env=_worker_env(),
+                                stdout=subprocess.DEVNULL)
+        killed_mid_flight = False
+        try:
+            deadline = time.monotonic() + 180
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    break  # finished before we could kill it
+                if _committed_runs() >= 2:
+                    proc.send_signal(signal.SIGKILL)
+                    proc.wait()
+                    killed_mid_flight = True
+                    break
+                time.sleep(0.02)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert killed_mid_flight, (
+            "the worker finished its first journal before the kill "
+            "could land; deadline or workload size needs adjusting")
+
+        # The kill left a stale lease (dead pid) on the in-flight item.
+        status = coordinator.status()
+        assert status["done"] < status["items"]
+
+        # Heal: fresh workers re-acquire the dead worker's lease and
+        # resume its journal, then drain everything else.
+        coordinator.run_inline()
+        assert coordinator.queue.all_done()
+        merged = tmp_path / "merged.jsonl"
+        report = coordinator.merge(merged)
+        assert report["torn_lines"] <= 1  # at most the torn final record
+        assert canonical_journal(merged) == canonical_journal(
+            reference_path)
+        _assert_results_identical(merged, reference_results)
+
+    def test_resumed_campaign_reports_resumed_runs(self, tmp_path,
+                                                   models):
+        """Re-running a finished campaign executes nothing new."""
+        store = ArtifactStore.local(tmp_path / "store")
+        spec = _make_spec("rerun", tmp_path / "store", models, 2)
+        coordinator = ShardCoordinator.create(store, spec, list(models))
+        coordinator.run_inline()
+        again = ShardCoordinator.create(store, spec, list(models))
+        summaries = again.run_inline()
+        assert all(s["items"] == 0 for s in summaries)
+        assert again.queue.all_done()
+
+    def test_conflicting_spec_is_rejected(self, tmp_path, models):
+        from repro.campaign.shard import ShardError
+
+        store = ArtifactStore.local(tmp_path / "store")
+        spec = _make_spec("fixed-id", tmp_path / "store", models, 2)
+        ShardCoordinator.create(store, spec, list(models))
+        changed = _make_spec("fixed-id", tmp_path / "store", models, 3)
+        with pytest.raises(ShardError, match="different spec"):
+            ShardCoordinator.create(store, changed, list(models))

@@ -100,7 +100,8 @@ class TestValidation:
             _plan(**kwargs)
 
     def test_targets_and_kinds_are_closed_sets(self):
-        assert set(FS_TARGETS) == {"journal", "cache", "store", "page"}
+        assert set(FS_TARGETS) == {"journal", "cache", "store", "page",
+                                   "artifact"}
         assert set(FS_KINDS) == {"eio", "enospc", "torn", "bitrot"}
 
 

@@ -236,8 +236,8 @@ class TestModelCache:
         stats = fast.cache.stats()
         assert stats["hit"] == 0
         assert stats["miss"] == 1
-        # Two distinct on-disk entries now coexist...
-        entries = sorted(p.name for p in (tmp_path / "cache").iterdir())
+        # Two distinct store entries now coexist...
+        entries = sorted(fast.cache.artifacts.list(fast.cache.NAMESPACE))
         assert len(entries) == 2
         # ...and each backend's rerun hits only its own.
         again = CharacterizationPipeline(

@@ -109,6 +109,75 @@ def _roundtrip(data):
     return json.loads(json.dumps(data))
 
 
+def test_sharded_campaign_matches_committed_golden(context, tmp_path):
+    """`--shards 3` fidelity: the sharded, merged campaigns reproduce
+    the committed single-process golden exactly.
+
+    Each benchmark runs as a 3-shard campaign over a shared artifact
+    store; the merged journals are reconstructed into results and fed
+    through the same AVM analysis, and every pinned number — per-cell
+    outcome counts, AVMs, the AVM table, divergence, Vmin and
+    mitigation — must equal the golden JSON byte-for-byte.
+    """
+    from repro.artifacts import ArtifactStore
+    from repro.campaign.shard import CampaignSpec, ShardCoordinator
+    from repro.observe.html_report import load_campaign_results
+
+    store = ArtifactStore.local(tmp_path / "store")
+    results = []
+    for name in context.benchmarks:
+        models = context.models_for(name)
+        spec = CampaignSpec(
+            campaign_id=f"golden-{name}",
+            benchmark=name,
+            scale=SCALE,
+            seed=SEED,
+            runs=RUNS,
+            shards=3,
+            points=tuple(CampaignSpec.point_dict(p)
+                         for p in context.points),
+            models=tuple(m.name for m in models),
+            fastforward=FastForwardConfig(enabled=False).to_dict(),
+        )
+        coordinator = ShardCoordinator.create(store, spec, models)
+        coordinator.run_inline()
+        merged = tmp_path / f"{name}.jsonl"
+        coordinator.merge(merged)
+        results.extend(load_campaign_results(merged))
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    by_cell = {(c["workload"], c["model"], c["point"]): c
+               for c in golden["cells"]}
+    assert len(results) == len(by_cell)
+    for result in results:
+        cell = by_cell[(result.workload, result.model, result.point)]
+        counts = {o.value: n for o, n in result.counts.counts.items()}
+        assert counts == cell["counts"], (result.workload, result.model,
+                                          result.point)
+        assert _roundtrip(result.avm) == cell["avm"]
+        assert _roundtrip(result.error_ratio) == cell["error_ratio"]
+        assert result.uarch_masked == cell["uarch_masked"]
+        assert (result.runs_without_injection
+                == cell["runs_without_injection"])
+
+    analysis = avm_analysis.run(context=context, campaign_results=results)
+    assert _roundtrip(
+        [{"workload": w, "model": m, "point": p, "avm": value}
+         for (w, m, p), value in sorted(analysis.avm_table.items())]
+    ) == golden["avm_table"]
+    assert _roundtrip(dict(sorted(analysis.divergence.items()))) == \
+        golden["divergence"]
+    assert _roundtrip(
+        [{"benchmark": c.benchmark, "model": c.model,
+          "point": c.point.name, "power_saving": c.power_saving,
+          "energy_saving": c.energy_saving} for c in analysis.vmin]
+    ) == golden["vmin"]
+    assert _roundtrip(
+        {name: list(entry)
+         for name, entry in sorted(analysis.mitigation.items())}
+    ) == golden["mitigation"]
+
+
 def test_fig9_and_avm_match_committed_golden(context):
     captured = {
         "fast-forward on": _capture(

@@ -111,7 +111,7 @@ class TestCampaignMetrics:
 
 STATUS_KEYS = {"service", "version", "campaign", "port", "uptime_s",
                "finished", "runs_done", "cells_done", "outcomes", "avm",
-               "current_cell", "workers", "adaptive", "cells"}
+               "current_cell", "workers", "adaptive", "cells", "shards"}
 
 
 class TestStatusBoard:
@@ -132,7 +132,17 @@ class TestStatusBoard:
         assert doc["current_cell"]["avm"]["avm"] == 0.5
         assert doc["workers"]["pool_size"] == 2
         assert not doc["finished"]
+        assert doc["shards"] is None  # unsharded campaign
         json.dumps(doc)  # must be JSON-serialisable
+
+    def test_update_shards_lands_in_snapshot(self):
+        board = StatusBoard()
+        board.update_shards({"items": 4, "done": 1, "in_flight": 2,
+                             "shards": {"0": {"items": 2, "done": 1}}})
+        doc = board.snapshot()
+        assert doc["shards"]["items"] == 4
+        assert doc["shards"]["shards"]["0"]["done"] == 1
+        json.dumps(doc)
 
     def test_end_cell_moves_current_to_cells(self):
         board = StatusBoard()

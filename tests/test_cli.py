@@ -218,3 +218,74 @@ class TestControlPlaneCli:
         assert main(["report", "--journal", str(journal),
                      "--trajectory", str(traj), "--html", str(html)]) == 0
         assert "CI convergence" in html.read_text()
+
+
+class TestShardedCampaignCLI:
+    def test_shards_require_a_store(self):
+        with pytest.raises(SystemExit, match="--store"):
+            main(["campaign", "kmeans", "--scale", "tiny", "--runs", "4",
+                  "--shards", "2"])
+
+    def test_sharded_campaign_round_trip(self, tmp_path, capsys):
+        """`--shards 2` end to end: drain inline, merge, summarize —
+        and the merged journal matches the unsharded run's."""
+        from repro.campaign.journal import canonical_journal
+
+        plain = tmp_path / "plain.jsonl"
+        assert main(["campaign", "kmeans", "--scale", "tiny",
+                     "--runs", "6", "--vr", "20", "--journal",
+                     str(plain)]) == 0
+        capsys.readouterr()
+        merged = tmp_path / "merged.jsonl"
+        assert main(["campaign", "kmeans", "--scale", "tiny",
+                     "--runs", "6", "--vr", "20", "--shards", "2",
+                     "--store", str(tmp_path / "store"),
+                     "--campaign-id", "cli-rt",
+                     "--journal", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "sharded campaign 'cli-rt': 2 shard(s)" in out
+        assert "merged journal:" in out
+        assert "archived:" in out
+        assert canonical_journal(merged) == canonical_journal(plain)
+
+        # Re-running the finished campaign is a pure resume: nothing
+        # executes, the merge is re-emitted byte-identically.
+        first = merged.read_bytes()
+        assert main(["campaign", "kmeans", "--scale", "tiny",
+                     "--runs", "6", "--vr", "20", "--shards", "2",
+                     "--store", str(tmp_path / "store"),
+                     "--campaign-id", "cli-rt",
+                     "--journal", str(merged)]) == 0
+        assert merged.read_bytes() == first
+
+    def test_shard_worker_joins_and_reports(self, tmp_path, capsys):
+        """`repro shard-worker` drains a campaign created by the
+        coordinator and prints a JSON summary."""
+        import json
+
+        from repro.artifacts import ArtifactStore
+        from repro.campaign.fastforward import FastForwardConfig
+        from repro.campaign.shard import CampaignSpec, ShardCoordinator
+        from repro.campaign.runner import CampaignRunner
+        from repro.circuit.liberty import VR20
+        from repro.errors import characterize_wa
+        from repro.workloads import make_workload
+
+        runner = CampaignRunner(
+            make_workload("kmeans", scale="tiny", seed=3), seed=3)
+        points = (VR20,)
+        model = characterize_wa(runner.golden().profile, points)
+        store = ArtifactStore.local(tmp_path / "store")
+        spec = CampaignSpec(
+            campaign_id="cli-worker", benchmark="kmeans", scale="tiny",
+            seed=3, runs=4, shards=1,
+            points=tuple(CampaignSpec.point_dict(p) for p in points),
+            models=(model.name,),
+            fastforward=FastForwardConfig(enabled=False).to_dict(),
+        )
+        ShardCoordinator.create(store, spec, [model])
+        assert main(["shard-worker", "--store", str(tmp_path / "store"),
+                     "--campaign", "cli-worker", "--shard", "0"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["items"] == 1
+        assert summary["runs"] == 4
